@@ -1,0 +1,343 @@
+package cbar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cbar/internal/routing"
+	"cbar/internal/sim"
+	"cbar/internal/topology"
+)
+
+// Algorithm identifies one of the seven routing mechanisms of the
+// paper's evaluation.
+type Algorithm int
+
+// The mechanisms, in the paper's presentation order.
+const (
+	// MIN is oblivious hierarchical minimal routing.
+	MIN Algorithm = iota
+	// VAL is Valiant routing through a random intermediate node.
+	VAL
+	// PB is PiggyBacking, the source-routed congestion-based adaptive
+	// baseline (Jiang et al., ISCA 2009).
+	PB
+	// OLM is Opportunistic Local Misrouting, the in-transit
+	// congestion-based adaptive baseline (García et al., ICPP 2013).
+	OLM
+	// Base is the paper's contention-counter mechanism (§III-B).
+	Base
+	// Hybrid combines contention counters with credit occupancy
+	// (§III-C).
+	Hybrid
+	// ECtN adds Explicit Contention Notification: group-wide combined
+	// contention counters (§III-D).
+	ECtN
+	// BaseP is the statistical-trigger extension of §VI-C (described
+	// but not evaluated by the paper): the misrouting probability grows
+	// with the counter value, so the minimal path keeps a traffic
+	// share.
+	BaseP
+)
+
+// Algorithms returns all mechanisms in presentation order: the paper's
+// evaluated seven followed by the §VI-C extension.
+func Algorithms() []Algorithm {
+	return []Algorithm{MIN, VAL, PB, OLM, Base, Hybrid, ECtN, BaseP}
+}
+
+// EvaluatedAlgorithms returns only the seven mechanisms of the paper's
+// evaluation section.
+func EvaluatedAlgorithms() []Algorithm {
+	return []Algorithm{MIN, VAL, PB, OLM, Base, Hybrid, ECtN}
+}
+
+func (a Algorithm) internal() (routing.Algo, error) {
+	switch a {
+	case MIN:
+		return routing.Min, nil
+	case VAL:
+		return routing.Valiant, nil
+	case PB:
+		return routing.PB, nil
+	case OLM:
+		return routing.OLM, nil
+	case Base:
+		return routing.Base, nil
+	case Hybrid:
+		return routing.Hybrid, nil
+	case ECtN:
+		return routing.ECtN, nil
+	case BaseP:
+		return routing.BaseProb, nil
+	}
+	return 0, fmt.Errorf("cbar: unknown algorithm %d", int(a))
+}
+
+func (a Algorithm) String() string {
+	in, err := a.internal()
+	if err != nil {
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+	return in.String()
+}
+
+// ParseAlgorithm resolves a case-insensitive mechanism name
+// ("min", "val", "pb", "olm", "base", "hybrid", "ectn").
+func ParseAlgorithm(s string) (Algorithm, error) {
+	in, err := routing.Parse(s)
+	if err != nil {
+		return 0, err
+	}
+	for _, a := range Algorithms() {
+		if got, _ := a.internal(); got == in {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("cbar: unmapped algorithm %q", s)
+}
+
+// IsContentionBased reports whether the mechanism is one of the paper's
+// contention-counter mechanisms.
+func (a Algorithm) IsContentionBased() bool {
+	in, err := a.internal()
+	return err == nil && in.IsContentionBased()
+}
+
+// Scale selects a canned network size. The simulation model is identical
+// at every scale; thresholds are rescaled per the paper's §VI-A
+// analysis.
+type Scale int
+
+// Canned scales.
+const (
+	// Tiny is p=4,a=4,h=2: 9 groups, 36 routers, 144 nodes. For tests
+	// and interactive exploration.
+	Tiny Scale = iota
+	// Small is p=4,a=8,h=4: 33 groups, 264 routers, 1056 nodes, with
+	// the paper's balanced proportions (a=2h, p=h). The default for
+	// figure regeneration on a laptop.
+	Small
+	// Paper is the exact Table I system: p=8,a=16,h=8, 129 groups,
+	// 2064 routers with 31 ports, 16512 nodes.
+	Paper
+)
+
+func (s Scale) internal() sim.Scale {
+	switch s {
+	case Small:
+		return sim.Small
+	case Paper:
+		return sim.Paper
+	default:
+		return sim.Tiny
+	}
+}
+
+func (s Scale) String() string { return s.internal().String() }
+
+// ParseScale resolves "tiny", "small" or "paper".
+func ParseScale(v string) (Scale, error) {
+	in, err := sim.ParseScale(v)
+	if err != nil {
+		return 0, err
+	}
+	switch in {
+	case sim.Small:
+		return Small, nil
+	case sim.Paper:
+		return Paper, nil
+	default:
+		return Tiny, nil
+	}
+}
+
+// Config describes a simulation: topology, mechanism and every Table I
+// micro-architecture and policy parameter. Zero-valued fields keep their
+// Table I (or §VI-A-scaled) defaults; NewConfig fills everything in.
+type Config struct {
+	// Topology: nodes per router, routers per group, global links per
+	// router. The network is the canonical maximum size, a*h+1 groups.
+	P, A, H int
+
+	// Algorithm is the routing mechanism.
+	Algorithm Algorithm
+
+	// Micro-architecture (Table I defaults via NewConfig).
+	PacketSize      int // phits per packet
+	VCsInjection    int
+	VCsLocal        int // VAL and PB are raised to 4 automatically
+	VCsGlobal       int
+	BufInjection    int // phits per VC
+	BufLocal        int
+	BufGlobal       int
+	BufOut          int
+	LatencyLocal    int // cycles
+	LatencyGlobal   int
+	PipelineLatency int
+	Speedup         int
+	NICQueuePackets int
+
+	// Policy thresholds (§VI-A-scaled defaults via NewConfig).
+	BaseTh       int
+	HybridTh     int
+	CombinedTh   int
+	OLMRelPct    int
+	HybridRelPct int
+	PBSatPackets int
+	ECtNPeriod   int64
+}
+
+// NewConfig returns the fully populated Table I configuration for the
+// scale and mechanism.
+func NewConfig(s Scale, a Algorithm) Config {
+	p := s.internal().Params()
+	return NewConfigFor(p.P, p.A, p.H, a)
+}
+
+// NewConfigFor is NewConfig for an arbitrary topology (p nodes/router,
+// a routers/group, h global links/router).
+func NewConfigFor(p, a, h int, alg Algorithm) Config {
+	tp := topology.Params{P: p, A: a, H: h}
+	rc := sim.NewConfig(tp, routing.Min) // algorithm applied at build
+	return Config{
+		P: p, A: a, H: h,
+		Algorithm:       alg,
+		PacketSize:      rc.Router.PacketSize,
+		VCsInjection:    rc.Router.VCsInjection,
+		VCsLocal:        rc.Router.VCsLocal,
+		VCsGlobal:       rc.Router.VCsGlobal,
+		BufInjection:    rc.Router.BufInjection,
+		BufLocal:        rc.Router.BufLocal,
+		BufGlobal:       rc.Router.BufGlobal,
+		BufOut:          rc.Router.BufOut,
+		LatencyLocal:    rc.Router.LatencyLocal,
+		LatencyGlobal:   rc.Router.LatencyGlobal,
+		PipelineLatency: rc.Router.PipelineLatency,
+		Speedup:         rc.Router.Speedup,
+		NICQueuePackets: rc.Router.NICQueuePackets,
+		BaseTh:          int(rc.Opts.BaseTh),
+		HybridTh:        int(rc.Opts.HybridTh),
+		CombinedTh:      int(rc.Opts.CombinedTh),
+		OLMRelPct:       int(rc.Opts.OLMRelPct),
+		HybridRelPct:    int(rc.Opts.HybridRelPct),
+		PBSatPackets:    int(rc.Opts.PBSatPackets),
+		ECtNPeriod:      rc.Opts.ECtNPeriod,
+	}
+}
+
+// internal converts the public config to the simulation config,
+// validating the algorithm.
+func (c Config) internal() (sim.Config, error) {
+	alg, err := c.Algorithm.internal()
+	if err != nil {
+		return sim.Config{}, err
+	}
+	tp := topology.Params{P: c.P, A: c.A, H: c.H}
+	sc := sim.NewConfig(tp, alg)
+	// Apply every explicit field; NewConfig pre-filled the struct, so
+	// zero values here mean the caller built Config by hand — fall
+	// back to defaults for those.
+	setIf := func(dst *int, v int) {
+		if v != 0 {
+			*dst = v
+		}
+	}
+	setIf(&sc.Router.PacketSize, c.PacketSize)
+	setIf(&sc.Router.VCsInjection, c.VCsInjection)
+	setIf(&sc.Router.VCsLocal, c.VCsLocal)
+	setIf(&sc.Router.VCsGlobal, c.VCsGlobal)
+	setIf(&sc.Router.BufInjection, c.BufInjection)
+	setIf(&sc.Router.BufLocal, c.BufLocal)
+	setIf(&sc.Router.BufGlobal, c.BufGlobal)
+	setIf(&sc.Router.BufOut, c.BufOut)
+	setIf(&sc.Router.LatencyLocal, c.LatencyLocal)
+	setIf(&sc.Router.LatencyGlobal, c.LatencyGlobal)
+	setIf(&sc.Router.PipelineLatency, c.PipelineLatency)
+	setIf(&sc.Router.Speedup, c.Speedup)
+	setIf(&sc.Router.NICQueuePackets, c.NICQueuePackets)
+	set32 := func(dst *int32, v int) {
+		if v != 0 {
+			*dst = int32(v)
+		}
+	}
+	set32(&sc.Opts.BaseTh, c.BaseTh)
+	set32(&sc.Opts.HybridTh, c.HybridTh)
+	set32(&sc.Opts.CombinedTh, c.CombinedTh)
+	set32(&sc.Opts.OLMRelPct, c.OLMRelPct)
+	set32(&sc.Opts.HybridRelPct, c.HybridRelPct)
+	set32(&sc.Opts.PBSatPackets, c.PBSatPackets)
+	if c.ECtNPeriod != 0 {
+		sc.Opts.ECtNPeriod = c.ECtNPeriod
+	}
+	return sc, nil
+}
+
+// Nodes returns the number of compute nodes of the configured topology.
+func (c Config) Nodes() int { return (c.A*c.H + 1) * c.A * c.P }
+
+// Routers returns the number of routers of the configured topology.
+func (c Config) Routers() int { return (c.A*c.H + 1) * c.A }
+
+// Groups returns the number of groups of the configured topology.
+func (c Config) Groups() int { return c.A*c.H + 1 }
+
+// Traffic is a declarative workload specification.
+type Traffic struct {
+	inner sim.Workload
+}
+
+// Uniform is the UN pattern: every packet targets a uniformly random
+// node other than its source.
+func Uniform() Traffic { return Traffic{sim.UN()} }
+
+// Adversarial is ADV+offset: every node sends to a random node in the
+// group `offset` positions away (§IV-A). ADV+1 saturates the minimal
+// global link; ADV+h additionally saturates source-group local links.
+func Adversarial(offset int) Traffic { return Traffic{sim.ADV(offset)} }
+
+// Mixed blends uniformFrac uniform traffic with ADV+offset for the rest
+// (the Figure 6 workload).
+func Mixed(uniformFrac float64, offset int) Traffic {
+	return Traffic{sim.MixUN(uniformFrac, offset)}
+}
+
+// Name returns the paper's name for the workload (UN, ADV+1, ...).
+func (t Traffic) Name() string { return t.inner.Name() }
+
+// ParseTraffic resolves a workload specification string:
+//
+//	"un"                       uniform random
+//	"adv+3", "adv-1", "adv3"   adversarial with the given group offset
+//	"mix:0.4,1"                40% uniform, 60% ADV+1
+func ParseTraffic(s string) (Traffic, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	switch {
+	case ls == "un" || ls == "uniform":
+		return Uniform(), nil
+	case strings.HasPrefix(ls, "adv"):
+		rest := strings.TrimPrefix(ls, "adv")
+		rest = strings.TrimPrefix(rest, "+")
+		off, err := strconv.Atoi(rest)
+		if err != nil {
+			return Traffic{}, fmt.Errorf("cbar: bad adversarial offset in %q: %v", s, err)
+		}
+		return Adversarial(off), nil
+	case strings.HasPrefix(ls, "mix:"):
+		parts := strings.Split(strings.TrimPrefix(ls, "mix:"), ",")
+		if len(parts) != 2 {
+			return Traffic{}, fmt.Errorf("cbar: mix traffic must be mix:FRAC,OFFSET, got %q", s)
+		}
+		frac, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return Traffic{}, fmt.Errorf("cbar: bad mix fraction %q: %v", parts[0], err)
+		}
+		off, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return Traffic{}, fmt.Errorf("cbar: bad mix offset %q: %v", parts[1], err)
+		}
+		return Mixed(frac, off), nil
+	}
+	return Traffic{}, fmt.Errorf("cbar: unknown traffic %q (un | adv+N | mix:F,N)", s)
+}

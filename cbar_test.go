@@ -1,0 +1,236 @@
+package cbar
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAlgorithmStringsRoundTrip(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("bogus"); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if Algorithm(42).String() == "" {
+		t.Error("unknown algorithm empty string")
+	}
+}
+
+func TestContentionPredicate(t *testing.T) {
+	want := map[Algorithm]bool{
+		MIN: false, VAL: false, PB: false, OLM: false,
+		Base: true, Hybrid: true, ECtN: true,
+	}
+	for a, w := range want {
+		if a.IsContentionBased() != w {
+			t.Errorf("%v IsContentionBased = %v", a, !w)
+		}
+	}
+}
+
+func TestScaleRoundTrip(t *testing.T) {
+	for _, s := range []Scale{Tiny, Small, Paper} {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScale(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestNewConfigTableI(t *testing.T) {
+	c := NewConfig(Paper, Base)
+	if c.P != 8 || c.A != 16 || c.H != 8 {
+		t.Fatalf("topology %d/%d/%d", c.P, c.A, c.H)
+	}
+	if c.Nodes() != 16512 || c.Routers() != 2064 || c.Groups() != 129 {
+		t.Fatalf("size %d/%d/%d", c.Nodes(), c.Routers(), c.Groups())
+	}
+	if c.PacketSize != 8 || c.BufGlobal != 256 || c.LatencyGlobal != 100 {
+		t.Fatalf("micro-arch defaults %+v", c)
+	}
+	if c.BaseTh != 6 || c.HybridTh != 7 || c.CombinedTh != 10 || c.ECtNPeriod != 100 {
+		t.Fatalf("thresholds %+v", c)
+	}
+}
+
+func TestConfigInternalRejectsBadAlgo(t *testing.T) {
+	c := NewConfig(Tiny, Algorithm(77))
+	if _, err := RunSteady(c, Uniform(), 0.1, SteadyOptions{Warmup: 10, Measure: 10, Seeds: 1}); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+func TestTrafficNames(t *testing.T) {
+	if Uniform().Name() != "UN" {
+		t.Fatal("UN name")
+	}
+	if Adversarial(3).Name() != "ADV+3" {
+		t.Fatal("ADV name")
+	}
+	if !strings.Contains(Mixed(0.5, 1).Name(), "UN") {
+		t.Fatal("mix name missing UN component")
+	}
+}
+
+func TestParseTraffic(t *testing.T) {
+	cases := map[string]string{
+		"un":        "UN",
+		"UNIFORM":   "UN",
+		"adv+1":     "ADV+1",
+		"adv3":      "ADV+3",
+		"adv-2":     "ADV+-2",
+		"mix:0.4,1": "mix(40%UN,ADV+1)",
+	}
+	for in, want := range cases {
+		tr, err := ParseTraffic(in)
+		if err != nil {
+			t.Errorf("ParseTraffic(%q): %v", in, err)
+			continue
+		}
+		if tr.Name() != want {
+			t.Errorf("ParseTraffic(%q).Name() = %q, want %q", in, tr.Name(), want)
+		}
+	}
+	for _, bad := range []string{"", "advX", "mix:1", "mix:a,b", "hotspot"} {
+		if _, err := ParseTraffic(bad); err == nil {
+			t.Errorf("ParseTraffic(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunSteadySmoke(t *testing.T) {
+	t.Parallel()
+	c := NewConfig(Tiny, Base)
+	r, err := RunSteady(c, Uniform(), 0.2, SteadyOptions{Warmup: 600, Measure: 600, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered == 0 || r.AvgLatency < 13 {
+		t.Fatalf("bad result %+v", r)
+	}
+	if r.Algo != "Base" || r.Workload != "UN" || r.Load != 0.2 {
+		t.Fatalf("metadata %+v", r)
+	}
+}
+
+func TestRunSteadyCustomTopology(t *testing.T) {
+	t.Parallel()
+	c := NewConfigFor(2, 4, 2, MIN) // 9 groups, 72 nodes
+	if c.Nodes() != 72 {
+		t.Fatalf("nodes %d", c.Nodes())
+	}
+	r, err := RunSteady(c, Uniform(), 0.15, SteadyOptions{Warmup: 500, Measure: 500, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestSweepOrderingAndMonotonicThroughput(t *testing.T) {
+	t.Parallel()
+	c := NewConfig(Tiny, MIN)
+	loads := []float64{0.1, 0.3}
+	rs, err := Sweep(c, Uniform(), loads, SteadyOptions{Warmup: 600, Measure: 600, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("%d results", len(rs))
+	}
+	if rs[0].Load != 0.1 || rs[1].Load != 0.3 {
+		t.Fatalf("order %v %v", rs[0].Load, rs[1].Load)
+	}
+	if rs[1].Accepted <= rs[0].Accepted {
+		t.Fatalf("throughput not increasing below saturation: %.3f then %.3f",
+			rs[0].Accepted, rs[1].Accepted)
+	}
+}
+
+func TestSweepEmptyRejected(t *testing.T) {
+	if _, err := Sweep(NewConfig(Tiny, MIN), Uniform(), nil, SteadyOptions{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestRunTransientSmoke(t *testing.T) {
+	t.Parallel()
+	c := NewConfig(Tiny, Base)
+	r, err := RunTransient(c, Uniform(), Adversarial(1), 0.3,
+		TransientOptions{Warmup: 800, Pre: 100, Post: 400, Bucket: 20, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algo != "Base" || len(r.Times) == 0 {
+		t.Fatalf("bad result %+v", r)
+	}
+	for i := range r.Times {
+		if math.IsNaN(r.Latency[i]) || r.MisroutedPct[i] < 0 || r.MisroutedPct[i] > 100 {
+			t.Fatalf("bad sample %d: %v %v", i, r.Latency[i], r.MisroutedPct[i])
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	figs := FigureIDs()
+	wantFigs := []string{"fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "via"}
+	if len(figs) != len(wantFigs) {
+		t.Fatalf("figure ids %v", figs)
+	}
+	ids := ExperimentIDs()
+	want := append(wantFigs, "abl-ectn-period", "abl-speedup", "abl-local-vcs", "abl-th-bounds", "abl-statistical")
+	if len(ids) != len(want) {
+		t.Fatalf("ids %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("ids %v", ids)
+		}
+		title, err := ExperimentTitle(id)
+		if err != nil || title == "" {
+			t.Fatalf("title(%s): %q, %v", id, title, err)
+		}
+	}
+	if _, err := ExperimentTitle("fig99"); err == nil {
+		t.Fatal("unknown title accepted")
+	}
+	if err := RunExperiment("fig99", Tiny, 1, nil); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentVIA(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := RunExperiment("via", Tiny, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mean_saturated_counter") ||
+		!strings.Contains(out, "mean_vcs_per_port_estimate") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestSteadyOptionsDefaults(t *testing.T) {
+	c := NewConfig(Tiny, MIN)
+	o := SteadyOptions{}.withDefaults(c)
+	if o.Warmup <= 0 || o.Measure <= 0 || o.Seeds <= 0 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	// Paper-scale configs get the paper budget.
+	op := SteadyOptions{}.withDefaults(NewConfig(Paper, MIN))
+	if op.Measure < o.Measure {
+		t.Fatalf("paper budget %d smaller than tiny %d", op.Measure, o.Measure)
+	}
+}

@@ -1,0 +1,84 @@
+// figures regenerates the data behind every table and figure of the
+// paper's evaluation (Figures 5-10 and the §VI-A analysis), writing one
+// CSV per experiment.
+//
+// Examples:
+//
+//	figures -fig all -scale tiny            # quick qualitative pass
+//	figures -fig fig5b -scale small         # one figure, laptop scale
+//	figures -fig all -scale paper -out data # the full Table I system
+//
+// Absolute numbers depend on scale; the shape of each figure (who wins,
+// by how much, where crossovers sit) is the reproduction target — see
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cbar"
+)
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "all", "experiment ids ("+strings.Join(cbar.ExperimentIDs(), "|")+"), or 'all' (figures), 'ablations', 'everything'")
+		scaleName = flag.String("scale", "small", "network scale: tiny|small|paper")
+		seeds     = flag.Int("seeds", 0, "repeats per point (0 = scale default)")
+		outDir    = flag.String("out", "", "directory for CSV files (default: stdout)")
+	)
+	flag.Parse()
+
+	scale, err := cbar.ParseScale(*scaleName)
+	die(err)
+
+	var ids []string
+	switch *figFlag {
+	case "all":
+		ids = cbar.FigureIDs()
+	case "everything":
+		ids = cbar.ExperimentIDs()
+	case "ablations":
+		for _, id := range cbar.ExperimentIDs() {
+			if strings.HasPrefix(id, "abl-") {
+				ids = append(ids, id)
+			}
+		}
+	default:
+		for _, id := range strings.Split(*figFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	for _, id := range ids {
+		title, err := cbar.ExperimentTitle(id)
+		die(err)
+		fmt.Fprintf(os.Stderr, "== %s: %s (scale %s)\n", id, title, scale)
+		start := time.Now()
+		if *outDir == "" {
+			die(cbar.RunExperiment(id, scale, *seeds, os.Stdout))
+		} else {
+			die(os.MkdirAll(*outDir, 0o755))
+			path := filepath.Join(*outDir, fmt.Sprintf("%s_%s.csv", id, scale))
+			f, err := os.Create(path)
+			die(err)
+			err = cbar.RunExperiment(id, scale, *seeds, f)
+			cerr := f.Close()
+			die(err)
+			die(cerr)
+			fmt.Fprintf(os.Stderr, "   wrote %s\n", path)
+		}
+		fmt.Fprintf(os.Stderr, "   done in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

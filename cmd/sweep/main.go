@@ -1,0 +1,76 @@
+// sweep runs an offered-load sweep for one or more routing mechanisms
+// under one traffic pattern and prints a CSV, the building block of the
+// paper's Figure 5 plots.
+//
+// Examples:
+//
+//	sweep -routing min,base,olm -traffic adv+1
+//	sweep -scale small -routing all -traffic un -loads 0.1,0.3,0.5,0.7,0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cbar"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "tiny", "network scale: tiny|small|paper")
+		algoList  = flag.String("routing", "all", "comma-separated mechanisms, or 'all'")
+		trafName  = flag.String("traffic", "un", "traffic: un | adv+N | mix:F,N")
+		loadsCSV  = flag.String("loads", "0.05,0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "offered loads")
+		warmup    = flag.Int64("warmup", 0, "warmup cycles (0 = scale default)")
+		measure   = flag.Int64("measure", 0, "measurement cycles (0 = scale default)")
+		seeds     = flag.Int("seeds", 0, "repeats per point (0 = scale default)")
+	)
+	flag.Parse()
+
+	scale, err := cbar.ParseScale(*scaleName)
+	die(err)
+
+	var algos []cbar.Algorithm
+	if *algoList == "all" {
+		algos = cbar.Algorithms()
+	} else {
+		for _, name := range strings.Split(*algoList, ",") {
+			a, err := cbar.ParseAlgorithm(name)
+			die(err)
+			algos = append(algos, a)
+		}
+	}
+
+	traf, err := cbar.ParseTraffic(*trafName)
+	die(err)
+
+	var loads []float64
+	for _, f := range strings.Split(*loadsCSV, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		die(err)
+		loads = append(loads, v)
+	}
+
+	fmt.Printf("# %s traffic on %s scale\n", traf.Name(), scale)
+	fmt.Println("load,algo,avg_latency_cycles,p99_latency_cycles,accepted_phits_node_cycle,misrouted_global_frac")
+	opt := cbar.SteadyOptions{Warmup: *warmup, Measure: *measure, Seeds: *seeds}
+	for _, a := range algos {
+		cfg := cbar.NewConfig(scale, a)
+		rs, err := cbar.Sweep(cfg, traf, loads, opt)
+		die(err)
+		for _, r := range rs {
+			fmt.Printf("%.3f,%s,%.2f,%d,%.4f,%.4f\n",
+				r.Load, r.Algo, r.AvgLatency, r.P99, r.Accepted, r.MisroutedGlobal)
+		}
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,32 @@
+// Package cbar is a cycle-level Dragonfly network simulator implementing
+// Contention-Based Nonminimal Adaptive Routing, a reproduction of
+// Fuentes, Vallejo, García, Beivide, Rodríguez, Minkenberg and Valero,
+// "Contention-based Nonminimal Adaptive Routing in High-radix Networks",
+// IEEE IPDPS 2015 (DOI 10.1109/IPDPS.2015.78).
+//
+// The library simulates canonical Dragonfly networks (palmtree global
+// arrangement) with input/output-buffered virtual-cut-through routers,
+// credit-based flow control, virtual channels and a separable batch
+// allocator, and provides the seven routing mechanisms of the paper's
+// evaluation: the oblivious MIN and VAL, the congestion-based adaptive
+// baselines PB (PiggyBacking) and OLM (Opportunistic Local Misrouting),
+// and the paper's three contention-based mechanisms Base, Hybrid and
+// ECtN (Explicit Contention Notification).
+//
+// # Quick start
+//
+//	cfg := cbar.NewConfig(cbar.Tiny, cbar.Base)
+//	res, err := cbar.RunSteady(cfg, cbar.Uniform(), 0.2, cbar.SteadyOptions{})
+//	if err != nil { ... }
+//	fmt.Printf("latency %.1f cycles, throughput %.3f phits/node/cycle\n",
+//		res.AvgLatency, res.Accepted)
+//
+// Three experiment shapes cover the paper's evaluation: RunSteady
+// (latency/throughput at one offered load), Sweep (a load grid in
+// parallel) and RunTransient (traced response to a traffic-pattern
+// switch). RunExperiment regenerates any of the paper's tables and
+// figures by ID; see EXPERIMENTS.md for paper-versus-measured results.
+//
+// All simulations are deterministic for a fixed configuration and seed;
+// repeated seeds run on all available cores.
+package cbar

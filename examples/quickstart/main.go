@@ -1,0 +1,54 @@
+// Quickstart: simulate a small Dragonfly under uniform traffic with the
+// paper's Base contention-counter routing and print latency/throughput.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbar"
+)
+
+func main() {
+	// A tiny canonical Dragonfly: p=4 nodes/router, a=4 routers/group,
+	// h=2 global links/router -> 9 groups, 36 routers, 144 nodes.
+	cfg := cbar.NewConfig(cbar.Tiny, cbar.Base)
+	fmt.Printf("network: %d groups, %d routers, %d nodes; routing %s (th=%d)\n",
+		cfg.Groups(), cfg.Routers(), cfg.Nodes(), cfg.Algorithm, cfg.BaseTh)
+
+	fmt.Println("\nuniform traffic, offered load sweep:")
+	fmt.Println("load   latency(cyc)  p99   accepted  misrouted")
+	for _, load := range []float64{0.1, 0.3, 0.5, 0.7} {
+		res, err := cbar.RunSteady(cfg, cbar.Uniform(), load, cbar.SteadyOptions{
+			Warmup:  1000,
+			Measure: 1000,
+			Seeds:   2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.2f   %8.1f   %5d   %.3f     %4.1f%%\n",
+			load, res.AvgLatency, res.P99, res.Accepted, 100*res.MisroutedGlobal)
+	}
+
+	fmt.Println("\nthe same sweep under adversarial ADV+1 traffic:")
+	fmt.Println("load   latency(cyc)  p99   accepted  misrouted")
+	for _, load := range []float64{0.05, 0.1, 0.2} {
+		res, err := cbar.RunSteady(cfg, cbar.Adversarial(1), load, cbar.SteadyOptions{
+			Warmup:  1000,
+			Measure: 1000,
+			Seeds:   2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.2f   %8.1f   %5d   %.3f     %4.1f%%\n",
+			load, res.AvgLatency, res.P99, res.Accepted, 100*res.MisroutedGlobal)
+	}
+	fmt.Println("\nNote how the contention counters leave uniform traffic on minimal")
+	fmt.Println("paths (0% misrouted) but divert adversarial traffic nonminimally.")
+}

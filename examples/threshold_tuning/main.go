@@ -1,0 +1,56 @@
+// Threshold tuning: reproduce the paper's §VI-A trade-off (Figure 10).
+// The Base misrouting threshold must sit between two bounds:
+//
+//   - high enough that saturated uniform traffic (whose counters hover
+//     around the mean VC count per port) does not trigger false
+//     misrouting, and
+//   - low enough that adversarial traffic triggers misrouting directly
+//     at the injection queues (counter reaches ~p, the injection ports).
+//
+// Run with:
+//
+//	go run ./examples/threshold_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbar"
+)
+
+func main() {
+	base := cbar.NewConfig(cbar.Tiny, cbar.Base)
+	fmt.Printf("router: %d injection ports, default threshold th=%d\n\n", base.P, base.BaseTh)
+
+	opt := cbar.SteadyOptions{Warmup: 1200, Measure: 1200, Seeds: 2}
+
+	fmt.Println("UN at load 0.5 (higher threshold = fewer false triggers = better):")
+	fmt.Println("th   latency(cyc)  accepted  misrouted")
+	for th := 1; th <= base.BaseTh+2; th++ {
+		cfg := base
+		cfg.BaseTh = th
+		r, err := cbar.RunSteady(cfg, cbar.Uniform(), 0.5, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%2d   %9.1f     %.3f     %5.1f%%\n",
+			th, r.AvgLatency, r.Accepted, 100*r.MisroutedGlobal)
+	}
+
+	fmt.Println("\nADV+1 at load 0.2 (lower threshold = faster diversion = better):")
+	fmt.Println("th   latency(cyc)  accepted  misrouted")
+	for th := 1; th <= base.BaseTh+4; th++ {
+		cfg := base
+		cfg.BaseTh = th
+		r, err := cbar.RunSteady(cfg, cbar.Adversarial(1), 0.2, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%2d   %9.1f     %.3f     %5.1f%%\n",
+			th, r.AvgLatency, r.Accepted, 100*r.MisroutedGlobal)
+	}
+
+	fmt.Println("\nPick the lowest threshold that does not hurt uniform traffic —")
+	fmt.Println("the paper lands on th=6 for its 31-port router (§VI-A).")
+}

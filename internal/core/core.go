@@ -1,0 +1,188 @@
+// Package core implements the paper's primary contribution: contention
+// counters as a misrouting trigger (Fuentes et al., IPDPS 2015, §III).
+//
+// A contention counter estimates the *demand* for an output port — how
+// many packets currently at the head of input virtual-channel queues
+// would proceed minimally through it — as opposed to the *occupancy* of
+// the buffers behind it. The package provides:
+//
+//   - Counters: the per-output-port counter bank of the Base and Hybrid
+//     mechanisms (§III-B, §III-C). A counter is incremented when a packet
+//     header reaches the head of an input VC (its minimal output is known
+//     then) and decremented when the packet's tail leaves that input
+//     queue, even if the packet was actually forwarded through another
+//     port. Every VC of every input port contributes concurrently.
+//
+//   - ECtN: the Explicit Contention Notification state of §III-D. Each
+//     router keeps a partial array with one counter per global link of
+//     its group, fed by packets entering the group (injection-queue heads
+//     and global-input arrivals) and indexed by the global link the
+//     packet would minimally leave the group through. Partial arrays are
+//     periodically combined (summed) group-wide into the combined array
+//     used to trigger misrouting at injection.
+//
+// The package is deliberately free of router mechanics: the router layer
+// calls Inc/Dec at the right micro-architectural instants and the routing
+// layer reads the counters to take decisions, which mirrors the paper's
+// claim that the counters sit beside, not inside, the critical path.
+package core
+
+import "fmt"
+
+// Counters is a bank of per-output-port contention counters (§III-B).
+// It is owned by a single router and is not safe for concurrent use, as
+// each simulated router is stepped by one goroutine at a time.
+type Counters struct {
+	c []int32
+}
+
+// NewCounters returns a bank of `ports` zeroed counters.
+func NewCounters(ports int) *Counters {
+	return &Counters{c: make([]int32, ports)}
+}
+
+// Len returns the number of counters in the bank.
+func (k *Counters) Len() int { return len(k.c) }
+
+// Inc registers one more head-of-queue packet whose minimal output is
+// port.
+func (k *Counters) Inc(port int) { k.c[port]++ }
+
+// Dec unregisters a packet whose tail left its input queue. It panics if
+// the counter would go negative: that is always a bookkeeping bug in the
+// caller (a Dec without a matching Inc), never a legal simulator state.
+func (k *Counters) Dec(port int) {
+	k.c[port]--
+	if k.c[port] < 0 {
+		panic(fmt.Sprintf("core: contention counter for port %d went negative", port))
+	}
+}
+
+// Get returns the current contention estimate for port.
+func (k *Counters) Get(port int) int32 { return k.c[port] }
+
+// Exceeds reports whether the counter for port strictly exceeds th, the
+// misrouting-trigger condition of §III-B.
+func (k *Counters) Exceeds(port int, th int32) bool { return k.c[port] > th }
+
+// Sum returns the total demand registered across all ports (used by
+// tests and saturation diagnostics, cf. §VI-A).
+func (k *Counters) Sum() int64 {
+	var s int64
+	for _, v := range k.c {
+		s += int64(v)
+	}
+	return s
+}
+
+// Reset zeroes the bank.
+func (k *Counters) Reset() {
+	for i := range k.c {
+		k.c[i] = 0
+	}
+}
+
+// Snapshot copies the counter values, for tests and tracing.
+func (k *Counters) Snapshot() []int32 {
+	return append([]int32(nil), k.c...)
+}
+
+// DefaultSatCap is the saturation value of the 4-bit counter fields the
+// paper sizes the ECtN broadcast with (§VI-B): transmitted partial values
+// saturate at 15, enough to exceed the combined threshold of 10.
+const DefaultSatCap = 15
+
+// ECtN holds one router's Explicit Contention Notification state (§III-D):
+// a partial array updated locally and a combined array refreshed by the
+// periodic group-wide exchange. Indices are group-wide global-link
+// indices in [0, links).
+type ECtN struct {
+	partial  []int32
+	combined []int32
+	// SatCap models the finite width of the broadcast counter fields:
+	// each router's contribution to a combined counter saturates at
+	// SatCap. Zero disables saturation (infinite-width counters).
+	SatCap int32
+}
+
+// NewECtN returns zeroed ECtN state for a group with `links` global links
+// (a*h in a canonical Dragonfly), using the 4-bit saturation cap of the
+// paper.
+func NewECtN(links int) *ECtN {
+	return &ECtN{
+		partial:  make([]int32, links),
+		combined: make([]int32, links),
+		SatCap:   DefaultSatCap,
+	}
+}
+
+// Links returns the number of global links tracked.
+func (e *ECtN) Links() int { return len(e.partial) }
+
+// IncPartial registers a packet that entered this router wanting to leave
+// the group through global link l.
+func (e *ECtN) IncPartial(l int) { e.partial[l]++ }
+
+// DecPartial unregisters such a packet once it left the input queue. It
+// panics on underflow, which is always a caller bookkeeping bug.
+func (e *ECtN) DecPartial(l int) {
+	e.partial[l]--
+	if e.partial[l] < 0 {
+		panic(fmt.Sprintf("core: ECtN partial counter for link %d went negative", l))
+	}
+}
+
+// Partial returns this router's own demand estimate for global link l.
+func (e *ECtN) Partial(l int) int32 { return e.partial[l] }
+
+// Combined returns the group-wide demand estimate for global link l as of
+// the last exchange.
+func (e *ECtN) Combined(l int) int32 { return e.combined[l] }
+
+// CombinedExceeds reports whether the combined counter for link l strictly
+// exceeds th, the ECtN injection-misrouting trigger.
+func (e *ECtN) CombinedExceeds(l int, th int32) bool { return e.combined[l] > th }
+
+// contribution returns the partial value as transmitted on the wire,
+// honoring the saturation cap.
+func (e *ECtN) contribution(l int) int32 {
+	v := e.partial[l]
+	if e.SatCap > 0 && v > e.SatCap {
+		return e.SatCap
+	}
+	return v
+}
+
+// CombineGroup models the periodic exchange of partial arrays within one
+// group (§III-D): every router's combined array becomes the sum of all
+// routers' (saturated) partial arrays at this instant. The paper's
+// simulations, like ours, model the exchange as instantaneous and free;
+// its cost is analyzed analytically in §VI-B.
+//
+// All members must track the same number of links.
+func CombineGroup(members []*ECtN) {
+	if len(members) == 0 {
+		return
+	}
+	links := members[0].Links()
+	sum := make([]int32, links)
+	for _, m := range members {
+		if m.Links() != links {
+			panic("core: CombineGroup with mismatched link counts")
+		}
+		for l := 0; l < links; l++ {
+			sum[l] += m.contribution(l)
+		}
+	}
+	for _, m := range members {
+		copy(m.combined, sum)
+	}
+}
+
+// Reset zeroes both arrays.
+func (e *ECtN) Reset() {
+	for i := range e.partial {
+		e.partial[i] = 0
+		e.combined[i] = 0
+	}
+}

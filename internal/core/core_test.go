@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersIncDecGet(t *testing.T) {
+	k := NewCounters(4)
+	if k.Len() != 4 {
+		t.Fatalf("len %d", k.Len())
+	}
+	k.Inc(2)
+	k.Inc(2)
+	k.Inc(0)
+	if k.Get(2) != 2 || k.Get(0) != 1 || k.Get(1) != 0 {
+		t.Fatalf("snapshot %v", k.Snapshot())
+	}
+	k.Dec(2)
+	if k.Get(2) != 1 {
+		t.Fatalf("after dec: %d", k.Get(2))
+	}
+	if k.Sum() != 2 {
+		t.Fatalf("sum %d", k.Sum())
+	}
+}
+
+func TestCountersUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dec below zero did not panic")
+		}
+	}()
+	NewCounters(2).Dec(0)
+}
+
+func TestCountersExceeds(t *testing.T) {
+	k := NewCounters(1)
+	for i := 0; i < 6; i++ {
+		k.Inc(0)
+	}
+	if k.Exceeds(0, 6) {
+		t.Fatal("6 > 6 reported true; trigger must be strict")
+	}
+	k.Inc(0)
+	if !k.Exceeds(0, 6) {
+		t.Fatal("7 > 6 reported false")
+	}
+}
+
+func TestCountersReset(t *testing.T) {
+	k := NewCounters(3)
+	k.Inc(1)
+	k.Reset()
+	if k.Sum() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestCountersSnapshotIsCopy(t *testing.T) {
+	k := NewCounters(2)
+	s := k.Snapshot()
+	s[0] = 99
+	if k.Get(0) != 0 {
+		t.Fatal("snapshot aliases internal state")
+	}
+}
+
+// TestQuickCountersMatchCensus drives a random Inc/Dec-balanced workload
+// and checks the bank always equals an independently maintained census.
+func TestQuickCountersMatchCensus(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const ports = 5
+		k := NewCounters(ports)
+		census := make([]int32, ports)
+		for _, op := range ops {
+			port := int(op) % ports
+			if op&0x80 != 0 && census[port] > 0 {
+				k.Dec(port)
+				census[port]--
+			} else {
+				k.Inc(port)
+				census[port]++
+			}
+		}
+		for p := 0; p < ports; p++ {
+			if k.Get(p) != census[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECtNPartial(t *testing.T) {
+	e := NewECtN(8)
+	if e.Links() != 8 {
+		t.Fatalf("links %d", e.Links())
+	}
+	e.IncPartial(3)
+	e.IncPartial(3)
+	e.DecPartial(3)
+	if e.Partial(3) != 1 {
+		t.Fatalf("partial %d", e.Partial(3))
+	}
+	if e.Combined(3) != 0 {
+		t.Fatal("combined changed without exchange")
+	}
+}
+
+func TestECtNUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DecPartial below zero did not panic")
+		}
+	}()
+	NewECtN(2).DecPartial(1)
+}
+
+func TestCombineGroupSums(t *testing.T) {
+	a, b, c := NewECtN(4), NewECtN(4), NewECtN(4)
+	a.IncPartial(0)
+	b.IncPartial(0)
+	b.IncPartial(2)
+	c.IncPartial(2)
+	CombineGroup([]*ECtN{a, b, c})
+	for _, m := range []*ECtN{a, b, c} {
+		if m.Combined(0) != 2 || m.Combined(2) != 2 || m.Combined(1) != 0 {
+			t.Fatalf("combined wrong: %d %d %d", m.Combined(0), m.Combined(1), m.Combined(2))
+		}
+	}
+	// A second exchange after decrements refreshes, not accumulates.
+	b.DecPartial(0)
+	CombineGroup([]*ECtN{a, b, c})
+	if a.Combined(0) != 1 {
+		t.Fatalf("combined after refresh: %d", a.Combined(0))
+	}
+}
+
+func TestCombineGroupSaturation(t *testing.T) {
+	a, b := NewECtN(1), NewECtN(1)
+	for i := 0; i < 100; i++ {
+		a.IncPartial(0)
+	}
+	b.IncPartial(0)
+	CombineGroup([]*ECtN{a, b})
+	// a contributes at most the 4-bit cap of 15, b contributes 1.
+	if a.Combined(0) != DefaultSatCap+1 {
+		t.Fatalf("combined %d, want %d", a.Combined(0), DefaultSatCap+1)
+	}
+	// With the cap disabled the full value flows through.
+	a.SatCap, b.SatCap = 0, 0
+	CombineGroup([]*ECtN{a, b})
+	if a.Combined(0) != 101 {
+		t.Fatalf("uncapped combined %d, want 101", a.Combined(0))
+	}
+}
+
+func TestCombinedExceeds(t *testing.T) {
+	e := NewECtN(1)
+	for i := 0; i < 10; i++ {
+		e.IncPartial(0)
+	}
+	CombineGroup([]*ECtN{e})
+	if e.CombinedExceeds(0, 10) {
+		t.Fatal("10 > 10 reported true; trigger must be strict")
+	}
+	e.IncPartial(0)
+	CombineGroup([]*ECtN{e})
+	if !e.CombinedExceeds(0, 10) {
+		t.Fatal("11 > 10 reported false")
+	}
+}
+
+func TestCombineGroupEmptyAndMismatch(t *testing.T) {
+	CombineGroup(nil) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched link counts did not panic")
+		}
+	}()
+	CombineGroup([]*ECtN{NewECtN(2), NewECtN(3)})
+}
+
+func TestECtNReset(t *testing.T) {
+	e := NewECtN(2)
+	e.IncPartial(0)
+	CombineGroup([]*ECtN{e})
+	e.Reset()
+	if e.Partial(0) != 0 || e.Combined(0) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// TestQuickCombineGroupConservation: without saturation, the sum of any
+// router's combined array equals the total partial sum across the group.
+func TestQuickCombineGroupConservation(t *testing.T) {
+	f := func(incs []uint8) bool {
+		const links, routers = 6, 3
+		members := make([]*ECtN, routers)
+		for i := range members {
+			members[i] = NewECtN(links)
+			members[i].SatCap = 0
+		}
+		var total int64
+		for i, v := range incs {
+			members[i%routers].IncPartial(int(v) % links)
+			total++
+		}
+		CombineGroup(members)
+		var combinedSum int64
+		for l := 0; l < links; l++ {
+			combinedSum += int64(members[0].Combined(l))
+		}
+		return combinedSum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCountersIncDec(b *testing.B) {
+	k := NewCounters(31)
+	for i := 0; i < b.N; i++ {
+		k.Inc(i % 31)
+		k.Dec(i % 31)
+	}
+}
+
+func BenchmarkCombineGroup(b *testing.B) {
+	members := make([]*ECtN, 16)
+	for i := range members {
+		members[i] = NewECtN(128)
+		for l := 0; l < 128; l += 3 {
+			members[i].IncPartial(l)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CombineGroup(members)
+	}
+}

@@ -1,0 +1,231 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, 7)
+	b := New(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed/stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	a := New(42, 1)
+	b := New(42, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 1 and 2 collided %d/1000 times", same)
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1, 9)
+	b := New(2, 9)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collided %d/1000 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	p := New(3, 3)
+	for _, n := range []int{1, 2, 3, 7, 16, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := p.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1, 1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square sanity over 10 buckets; loose bound, not a strict test.
+	p := New(99, 5)
+	const buckets, draws = 10, 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[p.Intn(buckets)]++
+	}
+	expect := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expect
+		chi2 += d * d / expect
+	}
+	// 9 dof; p=0.001 critical value is 27.88. Allow generous headroom.
+	if chi2 > 35 {
+		t.Fatalf("chi2 = %.2f too large; counts %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	p := New(5, 5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	p := New(8, 8)
+	for i := 0; i < 100; i++ {
+		if p.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !p.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if p.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !p.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	p := New(11, 4)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if p.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate %.4f", rate)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	p := New(17, 2)
+	xs := make([]int, 50)
+	for i := range xs {
+		xs[i] = i
+	}
+	p.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatalf("duplicate %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("shuffle lost elements: %d", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(123, 1)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children collided %d/1000 times", same)
+	}
+}
+
+func TestPick(t *testing.T) {
+	p := New(7, 7)
+	xs := []string{"a", "b", "c"}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		counts[Pick(p, xs)]++
+	}
+	for _, s := range xs {
+		if counts[s] < 800 {
+			t.Fatalf("Pick starved %q: %v", s, counts)
+		}
+	}
+}
+
+func TestQuickIntnAlwaysInRange(t *testing.T) {
+	f := func(seed uint64, stream uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		p := New(seed, stream)
+		v := p.Intn(int(n))
+		return v >= 0 && v < int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeterministicBySeed(t *testing.T) {
+	f := func(seed, stream uint64) bool {
+		a, b := New(seed, stream), New(seed, stream)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	p := New(1, 1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += p.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	p := New(1, 1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += p.Intn(31)
+	}
+	_ = sink
+}

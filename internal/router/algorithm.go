@@ -1,0 +1,67 @@
+package router
+
+// Request is a routing decision for the packet at the head of an input
+// VC: the desired output port and downstream VC. OK=false means the
+// algorithm declines to request this cycle (the packet stalls and will be
+// asked again next cycle).
+type Request struct {
+	Out int
+	VC  int
+	OK  bool
+}
+
+// Algorithm is the routing policy plugged into the fabric. The fabric
+// calls the hooks at precisely the micro-architectural instants the paper
+// defines for contention counters, so policies can maintain their state
+// (contention counters, ECtN arrays, PB saturation flags) without owning
+// any mechanics:
+//
+//   - OnArrive: a packet was enqueued into an input VC (global-input
+//     arrivals update ECtN partial counters here);
+//   - OnHead: a packet reached the head of an input VC for the first
+//     time (contention counters increment here, §III-B);
+//   - Route: called every cycle for every unrouted head packet; the
+//     decision may change from cycle to cycle (in-transit adaptivity);
+//   - OnGrant: switch allocation succeeded; path commitments (Valiant
+//     phase changes, misroute flags) are recorded here;
+//   - OnDequeue: the packet's tail left the input queue (contention
+//     counters decrement here, §III-B).
+//
+// BeginCycle runs once per cycle before routing and hosts periodic
+// group-level exchanges (PB saturation broadcast, ECtN combine).
+//
+// Algorithms are called from a single goroutine per network; they need no
+// internal locking.
+type Algorithm interface {
+	Name() string
+	// Attach is called once when the network is built.
+	Attach(n *Network)
+	BeginCycle(n *Network)
+	Route(r *Router, p *Packet, port, vc int) Request
+	OnArrive(r *Router, p *Packet, port, vc int)
+	OnHead(r *Router, p *Packet, port, vc int)
+	OnGrant(r *Router, p *Packet, port, vc, out, outVC int)
+	OnDequeue(r *Router, p *Packet, port, vc int)
+}
+
+// NopHooks provides no-op implementations of every Algorithm method
+// except Name and Route, for embedding in concrete policies.
+type NopHooks struct{}
+
+// Attach implements Algorithm.
+func (NopHooks) Attach(*Network) {}
+
+// BeginCycle implements Algorithm.
+func (NopHooks) BeginCycle(*Network) {}
+
+// OnArrive implements Algorithm.
+func (NopHooks) OnArrive(*Router, *Packet, int, int) {}
+
+// OnHead implements Algorithm.
+func (NopHooks) OnHead(*Router, *Packet, int, int) {}
+
+// OnGrant implements Algorithm.
+func (NopHooks) OnGrant(*Router, *Packet, int, int, int, int) {}
+
+// OnDequeue implements Algorithm.
+func (NopHooks) OnDequeue(*Router, *Packet, int, int) {}

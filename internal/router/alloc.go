@@ -1,0 +1,144 @@
+package router
+
+// The separable batch allocator (§IV-B of the paper): each iteration runs
+// an input stage — every input port nominates one of its requesting VCs,
+// round-robin — and an output stage — every output port grants one of the
+// nominating inputs, round-robin. The network runs Config.Speedup
+// iterations per cycle, modeling the 2× internal frequency speedup of the
+// paper's router, which compensates for the well-known matching loss of
+// separable allocators and mitigates head-of-line blocking.
+
+// allocate runs a single allocation iteration on this router. Only the
+// input ports that registered a request in this cycle's routePhase are
+// scanned (reqPorts); requests persist across the Speedup iterations.
+func (r *Router) allocate() {
+	if len(r.reqPorts) == 0 {
+		return
+	}
+	size := int32(r.net.Cfg.PacketSize)
+
+	// Input stage: nominate one eligible requesting VC per input port,
+	// gathering nominations per output port (ascending input order,
+	// which the output-stage round-robin scan relies on).
+	r.dirtyOut = r.dirtyOut[:0]
+	for _, port16 := range r.reqPorts {
+		port := int(port16)
+		ip := &r.in[port]
+		nv := len(ip.vcs)
+		start := r.rrVC[port]
+		for k := 1; k <= nv; k++ {
+			vc := (start + k) % nv
+			p := ip.vcs[vc].headPkt()
+			if p == nil || p.Granted || !p.reqValid {
+				continue
+			}
+			if !r.CanAccept(int(p.reqOut), int(p.reqVC), size) {
+				continue
+			}
+			r.s1[port] = int8(vc)
+			out := int(p.reqOut)
+			if r.candLen[out] == 0 {
+				r.dirtyOut = append(r.dirtyOut, p.reqOut)
+			}
+			r.candIn[out][r.candLen[out]] = int16(port)
+			r.candLen[out]++
+			break
+		}
+	}
+
+	// Output stage: grant one input per output port, round-robin.
+	for _, out16 := range r.dirtyOut {
+		out := int(out16)
+		nc := r.candLen[out]
+		r.candLen[out] = 0
+		if nc == 0 {
+			continue
+		}
+		cands := r.candIn[out][:nc]
+		o := &r.out[out]
+		pick := int(cands[0])
+		for _, in := range cands {
+			if int(in) > o.rrIn {
+				pick = int(in)
+				break
+			}
+		}
+		r.grant(pick, int(r.s1[pick]), out)
+	}
+}
+
+// grant commits a switch allocation: reserves output-buffer space and
+// downstream credits, schedules the pipeline completion and the input
+// tail departure, updates hop counters and round-robin state, and informs
+// the algorithm.
+func (r *Router) grant(port, vc, out int) {
+	p := r.in[port].vcs[vc].headPkt()
+	outVC := int(p.reqVC)
+	o := &r.out[out]
+	size := p.Size
+	now := r.net.now
+	cfg := &r.net.Cfg
+
+	o.credits[outVC] -= size
+	o.outFree -= size
+	p.Granted = true
+
+	switch o.kind {
+	case Local:
+		p.LocalHops++
+		p.LocalHopsGroup++
+		p.TotalHops++
+	case Global:
+		p.GlobalHops++
+		p.TotalHops++
+	}
+
+	// Header reaches the output buffer after the router pipeline.
+	r.net.schedule(now+int64(cfg.PipelineLatency),
+		event{kind: evPipeDone, router: int32(r.ID), port: int16(out), vc: int8(outVC), pkt: p})
+
+	// The tail leaves the input buffer once it has both arrived
+	// (cut-through) and streamed through the crossbar at the internal
+	// speedup rate.
+	transfer := (int64(size) + int64(cfg.Speedup) - 1) / int64(cfg.Speedup)
+	tail := now + transfer
+	if tail <= p.TailArrive {
+		tail = p.TailArrive + 1
+	}
+	r.net.schedule(tail,
+		event{kind: evTailLeave, router: int32(r.ID), port: int16(port), vc: int8(vc), pkt: p})
+
+	r.rrVC[port] = vc
+	o.rrIn = port
+	r.net.Alg.OnGrant(r, p, port, vc, out, outVC)
+}
+
+// linkPhase starts serializing the next staged packet on every idle
+// output link.
+func (r *Router) linkPhase() {
+	if r.staged == 0 {
+		return
+	}
+	now := r.net.now
+	for out := range r.out {
+		o := &r.out[out]
+		if o.linkFreeAt > now || o.qLen() == 0 {
+			continue
+		}
+		e := o.qPop()
+		r.staged--
+		size := int64(e.pkt.Size)
+		o.linkFreeAt = now + size
+		o.BusyCycles += size
+		r.net.schedule(now+size,
+			event{kind: evOutFree, router: int32(r.ID), port: int16(out), pkt: e.pkt})
+		if o.kind == Injection {
+			// Ejection channel: the packet is consumed by the node.
+			r.net.schedule(now+size,
+				event{kind: evDeliver, router: int32(r.ID), port: int16(out), pkt: e.pkt})
+		} else {
+			r.net.schedule(now+o.latency,
+				event{kind: evHeadArrive, router: o.peerRouter, port: o.peerPort, vc: e.vc, pkt: e.pkt})
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package router implements the cycle-level router and network fabric the
+// paper simulates with FOGSim: input/output-buffered virtual-cut-through
+// routers with virtual channels, credit-based flow control, a separable
+// batch allocator with internal speedup, a fixed-latency pipeline and
+// latency-accurate local/global links.
+//
+// The fabric is mechanics only. All routing policy — which output a head
+// packet should request, when to misroute, what the contention counters
+// mean — lives behind the Algorithm interface and is implemented by
+// package routing. The split mirrors the paper's architecture: the
+// contention counters sit beside the router datapath and are consulted by
+// the routing function.
+package router
+
+import (
+	"fmt"
+
+	"cbar/internal/topology"
+)
+
+// Config gathers every micro-architectural parameter of the simulated
+// network. Defaults follow Table I of the paper.
+type Config struct {
+	Topo topology.Params
+
+	// PacketSize is the fixed packet length in phits (Table I: 8).
+	PacketSize int
+
+	// Virtual channels per input port, by port class (Table I: 3 for
+	// local and injection ports, 2 for global ports; VAL and PB raise
+	// local ports to 4 to stay deadlock-free on their longer paths).
+	VCsInjection int
+	VCsLocal     int
+	VCsGlobal    int
+
+	// Input buffer capacity per VC, in phits (Table I: 32 local and
+	// injection, 256 global).
+	BufInjection int
+	BufLocal     int
+	BufGlobal    int
+
+	// BufOut is the output buffer capacity per output port, in phits
+	// (Table I: 32).
+	BufOut int
+
+	// Link latencies in cycles, for both data and credits
+	// (Table I: 10 local, 100 global).
+	LatencyLocal  int
+	LatencyGlobal int
+
+	// PipelineLatency is the router traversal latency in cycles from
+	// switch allocation to the output buffer (Table I: 5).
+	PipelineLatency int
+
+	// Speedup is the internal frequency speedup: allocation iterations
+	// per cycle and internal crossbar phits per cycle (Table I: 2).
+	Speedup int
+
+	// NICQueuePackets bounds each node's generation queue; while full,
+	// generation stalls (source throttling). This bounds memory beyond
+	// the saturation point without affecting sub-saturation results.
+	NICQueuePackets int
+}
+
+// DefaultConfig returns the Table I configuration for the given topology
+// parameters.
+func DefaultConfig(p topology.Params) Config {
+	return Config{
+		Topo:            p,
+		PacketSize:      8,
+		VCsInjection:    3,
+		VCsLocal:        3,
+		VCsGlobal:       2,
+		BufInjection:    32,
+		BufLocal:        32,
+		BufGlobal:       256,
+		BufOut:          32,
+		LatencyLocal:    10,
+		LatencyGlobal:   100,
+		PipelineLatency: 5,
+		Speedup:         2,
+		NICQueuePackets: 64,
+	}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	if err := c.Topo.Validate(); err != nil {
+		return err
+	}
+	if c.PacketSize < 1 {
+		return fmt.Errorf("router: packet size %d < 1", c.PacketSize)
+	}
+	if c.VCsInjection < 1 || c.VCsLocal < 1 || c.VCsGlobal < 1 {
+		return fmt.Errorf("router: VC counts must be >= 1 (inj=%d local=%d global=%d)",
+			c.VCsInjection, c.VCsLocal, c.VCsGlobal)
+	}
+	for _, b := range []struct {
+		name string
+		v    int
+	}{
+		{"injection input buffer", c.BufInjection},
+		{"local input buffer", c.BufLocal},
+		{"global input buffer", c.BufGlobal},
+		{"output buffer", c.BufOut},
+	} {
+		if b.v < c.PacketSize {
+			return fmt.Errorf("router: %s (%d phits) smaller than one packet (%d phits); virtual cut-through needs room for a whole packet",
+				b.name, b.v, c.PacketSize)
+		}
+	}
+	if c.LatencyLocal < 1 || c.LatencyGlobal < 1 {
+		return fmt.Errorf("router: link latencies must be >= 1 (local=%d global=%d)",
+			c.LatencyLocal, c.LatencyGlobal)
+	}
+	if c.PipelineLatency < 1 {
+		return fmt.Errorf("router: pipeline latency %d < 1", c.PipelineLatency)
+	}
+	if c.Speedup < 1 {
+		return fmt.Errorf("router: speedup %d < 1", c.Speedup)
+	}
+	if c.NICQueuePackets < 1 {
+		return fmt.Errorf("router: NIC queue %d < 1", c.NICQueuePackets)
+	}
+	return nil
+}
+
+// PortKind classifies router ports.
+type PortKind uint8
+
+const (
+	// Injection ports carry traffic from attached nodes in and, on the
+	// output side, eject traffic to them.
+	Injection PortKind = iota
+	// Local ports connect routers within a group.
+	Local
+	// Global ports connect groups.
+	Global
+)
+
+func (k PortKind) String() string {
+	switch k {
+	case Injection:
+		return "injection"
+	case Local:
+		return "local"
+	case Global:
+		return "global"
+	}
+	return "invalid"
+}
+
+// VCsFor returns the number of VCs for a port class.
+func (c Config) VCsFor(k PortKind) int {
+	switch k {
+	case Injection:
+		return c.VCsInjection
+	case Local:
+		return c.VCsLocal
+	default:
+		return c.VCsGlobal
+	}
+}
+
+// BufFor returns the per-VC input buffer capacity for a port class.
+func (c Config) BufFor(k PortKind) int {
+	switch k {
+	case Injection:
+		return c.BufInjection
+	case Local:
+		return c.BufLocal
+	default:
+		return c.BufGlobal
+	}
+}
+
+// LatencyFor returns the link latency for a port class; injection and
+// ejection channels are direct (latency 0, the NIC sits at the router).
+func (c Config) LatencyFor(k PortKind) int {
+	switch k {
+	case Local:
+		return c.LatencyLocal
+	case Global:
+		return c.LatencyGlobal
+	default:
+		return 0
+	}
+}
+
+// MeanVCsPerPort returns the mean number of VCs over a router's input
+// ports, the quantity the paper's §VI-A threshold analysis uses (2.74 for
+// the Table I router).
+func (c Config) MeanVCsPerPort() float64 {
+	t := c.Topo
+	total := t.P*c.VCsInjection + (t.A-1)*c.VCsLocal + t.H*c.VCsGlobal
+	return float64(total) / float64(t.P+t.A-1+t.H)
+}

@@ -1,0 +1,391 @@
+package router
+
+import (
+	"fmt"
+
+	"cbar/internal/topology"
+)
+
+// event kinds, processed at their scheduled cycle in insertion order.
+type evKind uint8
+
+const (
+	// evHeadArrive: pkt's header arrives at input (router, port, vc).
+	evHeadArrive evKind = iota
+	// evTailLeave: pkt's tail leaves input queue (router, port, vc).
+	evTailLeave
+	// evCredit: credits for (router, out port, vc) replenish by pkt.Size.
+	evCredit
+	// evPipeDone: pkt exits the router pipeline into output buffer
+	// (router, out port), heading for downstream VC vc.
+	evPipeDone
+	// evOutFree: pkt's tail left the output buffer of (router, port).
+	evOutFree
+	// evDeliver: pkt fully consumed by the node on ejection channel
+	// (router, port).
+	evDeliver
+)
+
+type event struct {
+	kind   evKind
+	router int32
+	port   int16
+	vc     int8
+	pkt    *Packet
+}
+
+// nic models a node's network interface: a bounded generation queue
+// draining into the router's injection buffers at one phit per cycle.
+type nic struct {
+	q          []*Packet
+	head       int
+	linkFreeAt int64
+}
+
+func (n *nic) len() int { return len(n.q) - n.head }
+
+func (n *nic) push(p *Packet) {
+	if n.head > 0 && n.head == len(n.q) {
+		n.q = n.q[:0]
+		n.head = 0
+	}
+	n.q = append(n.q, p)
+}
+
+func (n *nic) pop() *Packet {
+	p := n.q[n.head]
+	n.q[n.head] = nil
+	n.head++
+	if n.head == len(n.q) {
+		n.q = n.q[:0]
+		n.head = 0
+	}
+	return p
+}
+
+// Network is a complete simulated Dragonfly: routers, NICs, the event
+// calendar and cycle loop. A Network is single-goroutine; parallelism in
+// experiments comes from running independent Networks concurrently.
+type Network struct {
+	Cfg  Config
+	Topo *topology.Dragonfly
+	Alg  Algorithm
+
+	Routers []*Router
+	nics    []nic
+	groups  [][]*Router
+
+	now  int64
+	seed uint64
+
+	ring [][]event
+	mask int64
+
+	pktID uint64
+
+	// Aggregate counters, maintained by the fabric.
+	NumGenerated   uint64 // packets accepted into NIC queues
+	NumBlocked     uint64 // generation attempts refused (NIC queue full)
+	NumDelivered   uint64
+	DeliveredPhits uint64
+	InFlight       int64
+
+	// OnDeliver, when non-nil, observes every delivered packet at its
+	// delivery cycle (tail consumed by the destination node).
+	OnDeliver func(p *Packet, now int64)
+}
+
+// Build constructs a network for cfg with the given routing algorithm and
+// random seed.
+func Build(cfg Config, alg Algorithm, seed uint64) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if alg == nil {
+		return nil, fmt.Errorf("router: nil algorithm")
+	}
+	topo, err := topology.New(cfg.Topo)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{Cfg: cfg, Topo: topo, Alg: alg, seed: seed}
+
+	horizon := max64(int64(cfg.LatencyGlobal), int64(cfg.LatencyLocal)) +
+		int64(cfg.PipelineLatency) + int64(cfg.PacketSize) + 8
+	ringSize := int64(1)
+	for ringSize < horizon {
+		ringSize <<= 1
+	}
+	n.ring = make([][]event, ringSize)
+	n.mask = ringSize - 1
+
+	n.Routers = make([]*Router, topo.Routers)
+	for id := range n.Routers {
+		n.Routers[id] = newRouter(id, n)
+	}
+	n.groups = make([][]*Router, topo.Groups)
+	for g := range n.groups {
+		members := make([]*Router, topo.A)
+		for i := 0; i < topo.A; i++ {
+			members[i] = n.Routers[topo.RouterID(g, i)]
+		}
+		n.groups[g] = members
+	}
+	n.nics = make([]nic, topo.Nodes)
+	alg.Attach(n)
+	return n, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Now returns the current simulation cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Group returns the routers of group g, in position order.
+func (n *Network) Group(g int) []*Router { return n.groups[g] }
+
+// NICBacklog returns the number of packets waiting in node i's NIC queue.
+func (n *Network) NICBacklog(i int) int { return n.nics[i].len() }
+
+// portKind classifies a port index using the topology layout.
+func portKind(t *topology.Dragonfly, port int) PortKind {
+	switch {
+	case t.IsInjectionPort(port):
+		return Injection
+	case t.IsLocalPort(port):
+		return Local
+	default:
+		return Global
+	}
+}
+
+// Inject offers a new packet from node src to node dst at the current
+// cycle. It reports false when the source NIC queue is full (the caller —
+// the traffic process — is expected to stall, modeling source throttling
+// past saturation).
+func (n *Network) Inject(src, dst int) bool {
+	q := &n.nics[src]
+	if q.len() >= n.Cfg.NICQueuePackets {
+		n.NumBlocked++
+		return false
+	}
+	p := &Packet{
+		ID:          n.pktID,
+		Src:         int32(src),
+		Dst:         int32(dst),
+		DstRouter:   int32(n.Topo.RouterOfNode(dst)),
+		Size:        int32(n.Cfg.PacketSize),
+		GenTime:     n.now,
+		Inter:       -1,
+		LastGroup:   -1,
+		CountedPort: -1,
+		CountedLink: -1,
+	}
+	n.pktID++
+	q.push(p)
+	n.NumGenerated++
+	n.InFlight++
+	return true
+}
+
+// schedule appends an event strictly in the future.
+func (n *Network) schedule(cycle int64, ev event) {
+	if cycle <= n.now {
+		panic(fmt.Sprintf("router: scheduling event kind %d at cycle %d <= now %d", ev.kind, cycle, n.now))
+	}
+	if cycle-n.now > n.mask {
+		panic(fmt.Sprintf("router: event horizon exceeded: +%d cycles > ring %d", cycle-n.now, n.mask+1))
+	}
+	idx := cycle & n.mask
+	n.ring[idx] = append(n.ring[idx], ev)
+}
+
+// Step advances the simulation by one cycle: scheduled events, the
+// algorithm's per-cycle work (broadcasts), NIC injection, routing
+// decisions, Speedup allocation iterations and link serialization.
+func (n *Network) Step() {
+	idx := n.now & n.mask
+	bucket := n.ring[idx]
+	for i := range bucket {
+		n.handle(&bucket[i])
+	}
+	n.ring[idx] = bucket[:0]
+
+	n.Alg.BeginCycle(n)
+
+	for i := range n.nics {
+		n.nicDrain(i)
+	}
+	for _, r := range n.Routers {
+		r.routePhase()
+	}
+	for it := 0; it < n.Cfg.Speedup; it++ {
+		for _, r := range n.Routers {
+			r.allocate()
+		}
+	}
+	for _, r := range n.Routers {
+		r.linkPhase()
+	}
+	n.now++
+}
+
+// Run advances the simulation by `cycles` cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// nicDrain moves the head of node i's NIC queue into an injection VC of
+// its router when the injection channel is idle and a VC has room.
+func (n *Network) nicDrain(i int) {
+	q := &n.nics[i]
+	if q.len() == 0 || q.linkFreeAt > n.now {
+		return
+	}
+	r := n.Routers[n.Topo.RouterOfNode(i)]
+	port := n.Topo.ChannelOfNode(i)
+	ip := &r.in[port]
+	size := int32(n.Cfg.PacketSize)
+	best, bestFree := -1, int32(0)
+	for vc := range ip.vcs {
+		if f := ip.vcs[vc].free(); f >= size && f > bestFree {
+			best, bestFree = vc, f
+		}
+	}
+	if best < 0 {
+		return // injection buffers full; retry next cycle
+	}
+	p := q.pop()
+	p.resetQueueState(n.now + int64(size) - 1)
+	g := int32(n.Topo.GroupOf(r.ID))
+	p.LastGroup = g
+	p.LocalMisThisGroup = false
+	p.LocalHopsGroup = 0
+	ip.vcs[best].push(p)
+	ip.queued++
+	r.queued++
+	q.linkFreeAt = n.now + int64(size)
+	n.Alg.OnArrive(r, p, port, best)
+}
+
+// handle applies one scheduled event.
+func (n *Network) handle(ev *event) {
+	switch ev.kind {
+	case evHeadArrive:
+		r := n.Routers[ev.router]
+		p := ev.pkt
+		p.resetQueueState(n.now + int64(p.Size) - 1)
+		g := int32(n.Topo.GroupOf(r.ID))
+		if p.LastGroup != g {
+			p.LastGroup = g
+			p.LocalMisThisGroup = false
+			p.LocalHopsGroup = 0
+		}
+		r.in[ev.port].vcs[ev.vc].push(p)
+		r.in[ev.port].queued++
+		r.queued++
+		n.Alg.OnArrive(r, p, int(ev.port), int(ev.vc))
+
+	case evTailLeave:
+		r := n.Routers[ev.router]
+		ip := &r.in[ev.port]
+		p := ip.vcs[ev.vc].pop()
+		if p != ev.pkt {
+			panic("router: tail-leave for a packet not at queue head")
+		}
+		ip.queued--
+		r.queued--
+		n.Alg.OnDequeue(r, p, int(ev.port), int(ev.vc))
+		if ip.upRouter >= 0 {
+			up := n.Routers[ip.upRouter]
+			lat := up.out[ip.upPort].latency
+			n.schedule(n.now+lat,
+				event{kind: evCredit, router: ip.upRouter, port: ip.upPort, vc: ev.vc, pkt: p})
+		}
+
+	case evCredit:
+		o := &n.Routers[ev.router].out[ev.port]
+		o.credits[ev.vc] += ev.pkt.Size
+
+	case evPipeDone:
+		r := n.Routers[ev.router]
+		r.out[ev.port].qPush(outEntry{pkt: ev.pkt, vc: ev.vc})
+		r.staged++
+
+	case evOutFree:
+		o := &n.Routers[ev.router].out[ev.port]
+		o.outFree += ev.pkt.Size
+
+	case evDeliver:
+		n.NumDelivered++
+		n.DeliveredPhits += uint64(ev.pkt.Size)
+		n.InFlight--
+		if n.OnDeliver != nil {
+			n.OnDeliver(ev.pkt, n.now)
+		}
+	}
+}
+
+// CheckInvariants validates credit/buffer accounting across the whole
+// network plus packet conservation. Tests call it liberally; it is not
+// on the simulation fast path.
+func (n *Network) CheckInvariants() error {
+	for _, r := range n.Routers {
+		if err := r.checkInvariants(); err != nil {
+			return err
+		}
+	}
+	if n.InFlight < 0 {
+		return fmt.Errorf("router: negative in-flight count %d", n.InFlight)
+	}
+	if n.NumGenerated-n.NumDelivered != uint64(n.InFlight) {
+		return fmt.Errorf("router: conservation violated: generated %d - delivered %d != in-flight %d",
+			n.NumGenerated, n.NumDelivered, n.InFlight)
+	}
+	return nil
+}
+
+// LinkBusy sums the cycles spent serializing phits, per port class,
+// across the whole network since construction. Differencing two
+// snapshots over a measurement window yields mean link utilization
+// (busy cycles / (window × links)).
+func (n *Network) LinkBusy() (ejection, local, global int64) {
+	for _, r := range n.Routers {
+		for port := range r.out {
+			b := r.out[port].BusyCycles
+			switch r.out[port].kind {
+			case Injection:
+				ejection += b
+			case Local:
+				local += b
+			default:
+				global += b
+			}
+		}
+	}
+	return ejection, local, global
+}
+
+// LinkCounts returns the number of unidirectional links per class.
+func (n *Network) LinkCounts() (ejection, local, global int) {
+	t := n.Topo
+	return t.Nodes, t.Routers * (t.A - 1), t.Routers * t.H
+}
+
+// Drain runs the network with no new injection until every in-flight
+// packet is delivered or maxCycles elapse; it reports whether the network
+// fully drained. Tests use it to prove forward progress (deadlock
+// freedom in practice).
+func (n *Network) Drain(maxCycles int64) bool {
+	for i := int64(0); i < maxCycles && n.InFlight > 0; i++ {
+		n.Step()
+	}
+	return n.InFlight == 0
+}

@@ -1,0 +1,96 @@
+package router
+
+import "fmt"
+
+// Packet is the unit of switching: the simulator is virtual cut-through,
+// so buffers, credits and links are sized and timed in phits but
+// allocation and routing decisions happen once per packet. A packet lives
+// in exactly one input queue (or NIC queue, or output stage) at a time,
+// so per-hop transient state can live directly on the struct.
+type Packet struct {
+	ID  uint64
+	Src int32 // source node
+	Dst int32 // destination node
+
+	DstRouter int32 // cached router of Dst
+	Size      int32 // phits
+
+	GenTime int64 // cycle the packet was created at the source NIC
+
+	// --- path state, maintained by the routing algorithm ---
+
+	// Inter is the Valiant intermediate node (-1 when unused). While
+	// ToInter is true the packet routes minimally toward Inter, then
+	// minimally to Dst.
+	Inter   int32
+	ToInter bool
+
+	// Decided marks source-routed algorithms' one-time decision (PB).
+	Decided bool
+
+	// GlobalMisroute records that the packet took (or is committed to)
+	// a nonminimal global hop, for Figure 7b statistics and to forbid a
+	// second global misroute.
+	GlobalMisroute bool
+
+	// LocalMisroutes counts nonminimal local hops taken.
+	LocalMisroutes int8
+
+	// LocalMisThisGroup forbids a second local misroute within the
+	// currently visited group; the algorithm resets it on group change
+	// using LastGroup.
+	LocalMisThisGroup bool
+	LastGroup         int32
+
+	// Hop counters drive the ascending-VC deadlock avoidance scheme.
+	LocalHops  int8
+	GlobalHops int8
+	TotalHops  int8
+	// LocalHopsGroup counts local hops taken within the currently
+	// visited group; it resets on every group change and positions the
+	// packet on the ascending-VC ladder together with GlobalHops.
+	LocalHopsGroup int8
+
+	// --- contention bookkeeping (set by algorithm hooks) ---
+
+	// CountedPort is the output port whose contention counter this
+	// packet is currently holding incremented at its present router
+	// (-1 when none).
+	CountedPort int16
+	// CountedLink is the ECtN partial-array index this packet holds
+	// incremented (-1 when none).
+	CountedLink int16
+
+	// --- per-queue transient state (reset on every enqueue) ---
+
+	// TailArrive is the cycle the packet's tail finishes arriving into
+	// its current input queue; the tail cannot leave earlier.
+	TailArrive int64
+	// HeadSeen records that the head-of-queue hooks fired at this
+	// router.
+	HeadSeen bool
+	// Granted records that switch allocation succeeded; the packet
+	// stays at the queue head (occupying buffer space) until its tail
+	// leaves, but must not re-arbitrate.
+	Granted bool
+
+	// reqOut/reqVC/reqValid hold the current allocation request.
+	reqOut   int16
+	reqVC    int8
+	reqValid bool
+}
+
+// resetQueueState prepares per-queue transient state on enqueue.
+func (p *Packet) resetQueueState(tailArrive int64) {
+	p.TailArrive = tailArrive
+	p.HeadSeen = false
+	p.Granted = false
+	p.reqValid = false
+	p.CountedPort = -1
+	p.CountedLink = -1
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %d->%d (hops l%d g%d, mis g=%v l=%d)",
+		p.ID, p.Src, p.Dst, p.LocalHops, p.GlobalHops, p.GlobalMisroute, p.LocalMisroutes)
+}

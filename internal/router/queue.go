@@ -1,0 +1,76 @@
+package router
+
+// vcQueue is one virtual channel's input buffer: a FIFO of packets with
+// phit-granular occupancy accounting. Capacity admission is enforced by
+// the upstream credit counters, not here; the queue only asserts the
+// invariant.
+type vcQueue struct {
+	pkts []*Packet // ring buffer
+	head int
+	n    int
+
+	capPhits  int32
+	usedPhits int32
+}
+
+func newVCQueue(capPhits, packetSize int) vcQueue {
+	// The ring never holds more packets than fit in the buffer.
+	slots := capPhits / packetSize
+	if slots < 1 {
+		slots = 1
+	}
+	return vcQueue{pkts: make([]*Packet, slots), capPhits: int32(capPhits)}
+}
+
+// free returns the unreserved buffer space in phits.
+func (q *vcQueue) free() int32 { return q.capPhits - q.usedPhits }
+
+// empty reports whether no packet is queued.
+func (q *vcQueue) empty() bool { return q.n == 0 }
+
+// len returns the number of queued packets.
+func (q *vcQueue) len() int { return q.n }
+
+// headPkt returns the packet at the queue head, or nil.
+func (q *vcQueue) headPkt() *Packet {
+	if q.n == 0 {
+		return nil
+	}
+	return q.pkts[q.head]
+}
+
+// push appends a packet whose head has arrived; its full size is
+// accounted immediately (space was reserved by upstream credits when
+// transmission started).
+func (q *vcQueue) push(p *Packet) {
+	if q.usedPhits+p.Size > q.capPhits {
+		panic("router: input VC overflow; upstream credit accounting is broken")
+	}
+	if q.n == len(q.pkts) {
+		grown := make([]*Packet, 2*len(q.pkts))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.pkts[(q.head+i)%len(q.pkts)]
+		}
+		q.pkts = grown
+		q.head = 0
+	}
+	q.pkts[(q.head+q.n)%len(q.pkts)] = p
+	q.n++
+	q.usedPhits += p.Size
+}
+
+// pop removes the head packet once its tail has left the buffer.
+func (q *vcQueue) pop() *Packet {
+	if q.n == 0 {
+		panic("router: pop from empty VC queue")
+	}
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head = (q.head + 1) % len(q.pkts)
+	q.n--
+	q.usedPhits -= p.Size
+	if q.usedPhits < 0 {
+		panic("router: negative VC occupancy")
+	}
+	return p
+}

@@ -1,0 +1,312 @@
+package router
+
+import (
+	"fmt"
+
+	"cbar/internal/core"
+	"cbar/internal/rng"
+)
+
+// ejectionCredits is the effectively infinite credit pool of ejection
+// channels (nodes always sink traffic).
+const ejectionCredits = 1 << 30
+
+// inPort is one input port: a set of VC buffers plus its fixed upstream
+// endpoint (for credit returns). Injection ports have no upstream router.
+type inPort struct {
+	kind     PortKind
+	vcs      []vcQueue
+	upRouter int32 // -1 for injection ports
+	upPort   int16
+	queued   int32 // packets across this port's VCs (fast-path skip)
+}
+
+// outEntry is a packet staged in an output buffer with its downstream VC.
+type outEntry struct {
+	pkt *Packet
+	vc  int8
+}
+
+// outPort is one output port: credit counters for the downstream input
+// buffer, the output buffer and the link serialization state.
+type outPort struct {
+	kind       PortKind
+	peerRouter int32 // -1 for ejection channels
+	peerPort   int16
+	latency    int64
+
+	credits   []int32 // per downstream VC, phits
+	creditCap []int32 // initial credit values, for invariant checks
+	outFree   int32
+	outCap    int32
+
+	q          []outEntry // output buffer FIFO (head at index qHead)
+	qHead      int
+	linkFreeAt int64
+
+	rrIn int // output-arbiter round-robin pointer
+
+	// BusyCycles accumulates cycles the link spent serializing phits,
+	// for utilization statistics.
+	BusyCycles int64
+}
+
+func (o *outPort) qLen() int { return len(o.q) - o.qHead }
+
+func (o *outPort) qPush(e outEntry) { o.q = append(o.q, e) }
+
+func (o *outPort) qPop() outEntry {
+	e := o.q[o.qHead]
+	o.q[o.qHead].pkt = nil
+	o.qHead++
+	if o.qHead == len(o.q) { // drained: reset backing slice
+		o.q = o.q[:0]
+		o.qHead = 0
+	}
+	return e
+}
+
+// Router is one simulated router: input VC buffers, output ports with
+// credits, the separable allocator state and the contention-counter
+// banks consulted by the routing algorithms.
+type Router struct {
+	ID  int
+	net *Network
+
+	in  []inPort
+	out []outPort
+
+	// Contention is the per-output-port counter bank of §III-B. The
+	// fabric allocates it for every router; only contention-based
+	// algorithms update or read it.
+	Contention *core.Counters
+
+	// Ectn is the per-router ECtN state of §III-D (lazily allocated by
+	// the ECtN algorithm's Attach).
+	Ectn *core.ECtN
+
+	// RNG is this router's private random stream (nonminimal port
+	// selection).
+	RNG *rng.PCG
+
+	queued int // packets currently in input queues
+	staged int // packets currently in output buffers or being serialized
+
+	// allocator state and scratch
+	rrVC     []int  // per input port: round-robin pointer over VCs
+	s1       []int8 // per input port: stage-1 winning VC this iteration
+	candIn   [][]int16
+	candLen  []int
+	reqPorts []int16 // input ports with pending requests this cycle
+	dirtyOut []int16 // output ports with candidates this iteration
+}
+
+func newRouter(id int, net *Network) *Router {
+	cfg := &net.Cfg
+	topo := net.Topo
+	radix := topo.Radix()
+	r := &Router{
+		ID:         id,
+		net:        net,
+		in:         make([]inPort, radix),
+		out:        make([]outPort, radix),
+		Contention: core.NewCounters(radix),
+		RNG:        rng.New(net.seed, uint64(id)+1),
+		rrVC:       make([]int, radix),
+		s1:         make([]int8, radix),
+		candIn:     make([][]int16, radix),
+		candLen:    make([]int, radix),
+		reqPorts:   make([]int16, 0, radix),
+		dirtyOut:   make([]int16, 0, radix),
+	}
+	for p := 0; p < radix; p++ {
+		r.candIn[p] = make([]int16, radix)
+	}
+	for port := 0; port < radix; port++ {
+		kind := portKind(topo, port)
+		// Input side.
+		vcN := cfg.VCsFor(kind)
+		buf := cfg.BufFor(kind)
+		ip := &r.in[port]
+		ip.kind = kind
+		ip.vcs = make([]vcQueue, vcN)
+		for v := range ip.vcs {
+			ip.vcs[v] = newVCQueue(buf, cfg.PacketSize)
+		}
+		ip.upRouter = -1
+		if kind != Injection {
+			peer, peerPort := topo.Neighbor(id, port)
+			ip.upRouter = int32(peer)
+			ip.upPort = int16(peerPort)
+		}
+		// Output side.
+		op := &r.out[port]
+		op.kind = kind
+		op.latency = int64(cfg.LatencyFor(kind))
+		op.outCap = int32(cfg.BufOut)
+		op.outFree = op.outCap
+		op.peerRouter = -1
+		if kind == Injection { // ejection channel
+			op.credits = []int32{ejectionCredits}
+			op.creditCap = []int32{ejectionCredits}
+		} else {
+			peer, peerPort := topo.Neighbor(id, port)
+			op.peerRouter = int32(peer)
+			op.peerPort = int16(peerPort)
+			// Downstream input port has the same class as ours.
+			dn := cfg.VCsFor(kind)
+			dbuf := int32(cfg.BufFor(kind))
+			op.credits = make([]int32, dn)
+			op.creditCap = make([]int32, dn)
+			for v := range op.credits {
+				op.credits[v] = dbuf
+				op.creditCap[v] = dbuf
+			}
+		}
+	}
+	return r
+}
+
+// --- accessors used by routing algorithms and tests ---
+
+// Net returns the owning network.
+func (r *Router) Net() *Network { return r.net }
+
+// NumPorts returns the router radix.
+func (r *Router) NumPorts() int { return len(r.out) }
+
+// Kind returns the class of a port.
+func (r *Router) Kind(port int) PortKind { return r.out[port].kind }
+
+// VCs returns the number of VCs of input port `port`.
+func (r *Router) VCs(port int) int { return len(r.in[port].vcs) }
+
+// OutVCs returns the number of downstream VCs reachable through output
+// `port`.
+func (r *Router) OutVCs(port int) int { return len(r.out[port].credits) }
+
+// Credits returns the available credits (phits) for downstream VC vc of
+// output port.
+func (r *Router) Credits(port, vc int) int32 { return r.out[port].credits[vc] }
+
+// OutFree returns the free space of the output buffer of `port`.
+func (r *Router) OutFree(port int) int32 { return r.out[port].outFree }
+
+// Occupancy estimates the phits queued at and beyond output `port`: the
+// staged output buffer content plus the downstream buffer space not
+// covered by credits (which includes phits and credits still in flight —
+// exactly the credit-count estimate, with its round-trip uncertainty,
+// that congestion-based mechanisms rely on, cf. §II-B).
+func (r *Router) Occupancy(port int) int32 {
+	o := &r.out[port]
+	occ := o.outCap - o.outFree
+	for v, c := range o.credits {
+		occ += o.creditCap[v] - c
+	}
+	return occ
+}
+
+// OccupancyCap returns the maximum value Occupancy can reach for `port`:
+// the output buffer plus all downstream credit capacity. Relative
+// (percentage) occupancy comparisons across port classes must normalize
+// by it, since local and global ports have very different buffer depths.
+func (r *Router) OccupancyCap(port int) int32 {
+	o := &r.out[port]
+	cap := o.outCap
+	for _, c := range o.creditCap {
+		cap += c
+	}
+	return cap
+}
+
+// CanAccept reports whether output `port`, downstream VC vc, can accept a
+// whole packet of `size` phits right now (the VCT admission rule used by
+// the allocator).
+func (r *Router) CanAccept(port, vc int, size int32) bool {
+	o := &r.out[port]
+	return o.outFree >= size && o.credits[vc] >= size
+}
+
+// QueuedPackets returns the number of packets in input VC (port, vc).
+func (r *Router) QueuedPackets(port, vc int) int { return r.in[port].vcs[vc].len() }
+
+// HeadPacket returns the head packet of input VC (port, vc), or nil.
+func (r *Router) HeadPacket(port, vc int) *Packet { return r.in[port].vcs[vc].headPkt() }
+
+// InFree returns the free phits of input VC (port, vc).
+func (r *Router) InFree(port, vc int) int32 { return r.in[port].vcs[vc].free() }
+
+// LinkBusy reports whether the link of output `port` is serializing.
+func (r *Router) LinkBusy(port int) bool { return r.out[port].linkFreeAt > r.net.now }
+
+// --- per-cycle phases ---
+
+// routePhase fires head hooks and (re)collects allocation requests for
+// every unrouted head packet, recording which input ports need
+// arbitration this cycle.
+func (r *Router) routePhase() {
+	r.reqPorts = r.reqPorts[:0]
+	if r.queued == 0 {
+		return
+	}
+	alg := r.net.Alg
+	for port := range r.in {
+		ip := &r.in[port]
+		if ip.queued == 0 {
+			continue
+		}
+		requesting := false
+		for vc := range ip.vcs {
+			p := ip.vcs[vc].headPkt()
+			if p == nil || p.Granted {
+				continue
+			}
+			if !p.HeadSeen {
+				p.HeadSeen = true
+				alg.OnHead(r, p, port, vc)
+			}
+			req := alg.Route(r, p, port, vc)
+			p.reqValid = req.OK
+			if req.OK {
+				p.reqOut = int16(req.Out)
+				p.reqVC = int8(req.VC)
+				requesting = true
+			}
+		}
+		if requesting {
+			r.reqPorts = append(r.reqPorts, int16(port))
+		}
+	}
+}
+
+// checkInvariants verifies credit and buffer accounting; used by tests.
+func (r *Router) checkInvariants() error {
+	for port := range r.out {
+		o := &r.out[port]
+		if o.outFree < 0 || o.outFree > o.outCap {
+			return fmt.Errorf("router %d out %d: outFree %d of cap %d", r.ID, port, o.outFree, o.outCap)
+		}
+		for v, c := range o.credits {
+			if c < 0 || c > o.creditCap[v] {
+				return fmt.Errorf("router %d out %d vc %d: credits %d of cap %d", r.ID, port, v, c, o.creditCap[v])
+			}
+		}
+	}
+	for port := range r.in {
+		ip := &r.in[port]
+		for v := range ip.vcs {
+			q := &ip.vcs[v]
+			if q.usedPhits < 0 || q.usedPhits > q.capPhits {
+				return fmt.Errorf("router %d in %d vc %d: used %d of cap %d", r.ID, port, v, q.usedPhits, q.capPhits)
+			}
+			var sum int32
+			for i := 0; i < q.n; i++ {
+				sum += q.pkts[(q.head+i)%len(q.pkts)].Size
+			}
+			if sum != q.usedPhits {
+				return fmt.Errorf("router %d in %d vc %d: used %d but packets sum %d", r.ID, port, v, q.usedPhits, sum)
+			}
+		}
+	}
+	return nil
+}

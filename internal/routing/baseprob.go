@@ -1,0 +1,89 @@
+package routing
+
+import (
+	"cbar/internal/router"
+)
+
+// baseProbAlg implements the statistical misrouting trigger the paper
+// sketches but does not evaluate (§VI-C): instead of Base's hard
+// decision — misroute whenever the minimal output's counter exceeds th —
+// the probability of routing nonminimally grows with the counter value
+// above the threshold, so the minimal path keeps carrying a share of the
+// traffic even under heavy adversarial load. §VI-C motivates this with
+// the observation that a fixed threshold can leave the minimal path
+// completely empty while everything detours around it (in real systems
+// some traffic classes must stay minimal anyway, e.g. Cascade's
+// in-order packets).
+//
+// The probability ramp is linear: p = (counter - th) / ramp, clamped to
+// maxPct/100. With ramp = th (the default) the misrouting probability
+// reaches its cap when the counter doubles the threshold.
+type baseProbAlg struct {
+	th     int32
+	ramp   int32
+	maxPct int32
+}
+
+// newBaseProb builds the §VI-C statistical variant. ramp and maxPct
+// default to th and 90 when zero.
+func newBaseProb(th, ramp, maxPct int32) *baseProbAlg {
+	if ramp <= 0 {
+		ramp = th
+		if ramp <= 0 {
+			ramp = 1
+		}
+	}
+	if maxPct <= 0 {
+		maxPct = 90
+	}
+	if maxPct > 100 {
+		maxPct = 100
+	}
+	return &baseProbAlg{th: th, ramp: ramp, maxPct: maxPct}
+}
+
+func (*baseProbAlg) Name() string { return BaseProb.String() }
+
+func (a *baseProbAlg) Attach(*router.Network)     {}
+func (a *baseProbAlg) BeginCycle(*router.Network) {}
+
+func (a *baseProbAlg) OnArrive(r *router.Router, p *router.Packet, port, vc int) {}
+
+func (a *baseProbAlg) OnHead(r *router.Router, p *router.Packet, port, vc int) {
+	countHead(r, p)
+}
+
+func (a *baseProbAlg) OnDequeue(r *router.Router, p *router.Packet, port, vc int) {
+	uncount(r, p)
+}
+
+func (a *baseProbAlg) OnGrant(r *router.Router, p *router.Packet, port, vc, out, outVC int) {
+	markDeviation(r, p, out)
+}
+
+// misroutePermille returns the per-decision nonminimal probability in
+// 1/1000 units for a given counter value.
+func (a *baseProbAlg) misroutePermille(counter int32) int32 {
+	if counter <= a.th {
+		return 0
+	}
+	pm := (counter - a.th) * 1000 / a.ramp
+	if cap := a.maxPct * 10; pm > cap {
+		pm = cap
+	}
+	return pm
+}
+
+func (a *baseProbAlg) Route(r *router.Router, p *router.Packet, port, vc int) router.Request {
+	min := minimalOut(r, p)
+	if r.Kind(min) == router.Injection {
+		return request(r, p, min)
+	}
+	pm := a.misroutePermille(r.Contention.Get(min))
+	if pm > 0 && int32(r.RNG.Intn(1000)) < pm {
+		if out, ok := contentionAlternative(r, p, min, a.th); ok {
+			return request(r, p, out)
+		}
+	}
+	return request(r, p, min)
+}

@@ -1,0 +1,125 @@
+package routing
+
+import (
+	"cbar/internal/core"
+	"cbar/internal/router"
+)
+
+// ectnAlg is the paper's Explicit Contention Notification mechanism
+// (§III-D). On top of Base's local counters, every router keeps a
+// partial array with one counter per global link of its group:
+//
+//   - incremented when local traffic bound for a remote group reaches
+//     the head of an injection queue, and when remote-bound traffic is
+//     received through a global input port (transit entering the group);
+//     the index is the global link the packet would minimally leave the
+//     group through;
+//   - decremented when that packet leaves the input queue.
+//
+// Every ECtNPeriod cycles the routers of a group exchange partial arrays
+// and sum them into the combined array (modeled as free and
+// instantaneous, as in the paper's simulations; §VI-B costs it
+// analytically). At injection, a packet whose minimal global link's
+// combined counter exceeds CombinedTh is misrouted through a random
+// global link of the current router whose combined counter is under the
+// threshold. All other decisions fall back to Base's local counters,
+// which keeps in-transit hop-by-hop adaptivity.
+//
+// Because the combined information is refreshed only at the exchange
+// period, a traffic change becomes visible group-wide one period later —
+// exactly the 100-cycle plateau ECtN shows in Figure 7 before it starts
+// misrouting directly from the injection queues.
+type ectnAlg struct {
+	thLocal    int32
+	thCombined int32
+	period     int64
+	ectn       [][]*core.ECtN // per group, per member router
+}
+
+func newECtN(o Options) *ectnAlg {
+	return &ectnAlg{thLocal: o.BaseTh, thCombined: o.CombinedTh, period: o.ECtNPeriod}
+}
+
+func (*ectnAlg) Name() string { return ECtN.String() }
+
+func (a *ectnAlg) Attach(n *router.Network) {
+	t := n.Topo
+	a.ectn = make([][]*core.ECtN, t.Groups)
+	for g := 0; g < t.Groups; g++ {
+		members := n.Group(g)
+		states := make([]*core.ECtN, len(members))
+		for i, r := range members {
+			r.Ectn = core.NewECtN(t.GlobalLinks)
+			states[i] = r.Ectn
+		}
+		a.ectn[g] = states
+	}
+}
+
+// BeginCycle runs the periodic group-wide combine.
+func (a *ectnAlg) BeginCycle(n *router.Network) {
+	if n.Now()%a.period != 0 {
+		return
+	}
+	for _, group := range a.ectn {
+		core.CombineGroup(group)
+	}
+}
+
+func (a *ectnAlg) OnArrive(r *router.Router, p *router.Packet, port, vc int) {
+	// Remote-bound transit entering the group through a global port
+	// contributes to the partial array on reception (§III-D).
+	t := r.Net().Topo
+	if !t.IsGlobalPort(port) {
+		return
+	}
+	if l, ok := minGlobalLinkIndex(t, r, p); ok {
+		r.Ectn.IncPartial(l)
+		p.CountedLink = int16(l)
+	}
+}
+
+func (a *ectnAlg) OnHead(r *router.Router, p *router.Packet, port, vc int) {
+	countHead(r, p) // Base local counters
+	// Local traffic at the head of an injection queue contributes to
+	// the partial array (§III-D).
+	t := r.Net().Topo
+	if t.IsInjectionPort(port) && p.CountedLink < 0 {
+		if l, ok := minGlobalLinkIndex(t, r, p); ok {
+			r.Ectn.IncPartial(l)
+			p.CountedLink = int16(l)
+		}
+	}
+}
+
+func (a *ectnAlg) OnDequeue(r *router.Router, p *router.Packet, port, vc int) {
+	uncount(r, p)
+	if p.CountedLink >= 0 {
+		r.Ectn.DecPartial(int(p.CountedLink))
+		p.CountedLink = -1
+	}
+}
+
+func (a *ectnAlg) OnGrant(r *router.Router, p *router.Packet, port, vc, out, outVC int) {
+	markDeviation(r, p, out)
+}
+
+func (a *ectnAlg) Route(r *router.Router, p *router.Packet, port, vc int) router.Request {
+	t := r.Net().Topo
+	// Injection decision on the combined counters.
+	if t.IsInjectionPort(port) && canGlobalMisroute(r, p) {
+		if l, ok := minGlobalLinkIndex(t, r, p); ok && r.Ectn.CombinedExceeds(l, a.thCombined) {
+			pos := t.PosOf(r.ID)
+			calm := func(out int) bool {
+				k := t.GlobalOrdinal(out)
+				return r.Ectn.Combined(t.GlobalLinkIndex(pos, k)) < a.thCombined
+			}
+			min := minimalOut(r, p)
+			if out, ok := pickGlobal(r, min, calm); ok {
+				return request(r, p, out)
+			}
+		}
+	}
+	// Everywhere else: Base behavior on the local counters.
+	return contentionRoute(r, p, a.thLocal)
+}

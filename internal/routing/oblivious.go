@@ -1,0 +1,53 @@
+package routing
+
+import (
+	"cbar/internal/router"
+)
+
+// minAlg is MIN: oblivious hierarchical minimal routing (§IV-A). Optimal
+// latency under uniform traffic, catastrophic under adversarial patterns
+// (the single minimal global link between two groups saturates).
+type minAlg struct{ router.NopHooks }
+
+func (*minAlg) Name() string { return Min.String() }
+
+func (*minAlg) Route(r *router.Router, p *router.Packet, port, vc int) router.Request {
+	return request(r, p, minimalOut(r, p))
+}
+
+// valiantAlg is VAL: Valiant routing to a random intermediate node
+// (l g l - l g l), the paper's implementation choice ("misroute traffic
+// to an intermediate node ..., not to the intermediate group", §V-A).
+// Intra-group traffic routes minimally. The two local hops in the
+// intermediate group act as local misrouting and avoid the ADV+h
+// pathological local congestion.
+type valiantAlg struct{ router.NopHooks }
+
+func (*valiantAlg) Name() string { return Valiant.String() }
+
+func (*valiantAlg) Route(r *router.Router, p *router.Packet, port, vc int) router.Request {
+	t := r.Net().Topo
+	if p.Inter < 0 && !p.Decided && t.IsInjectionPort(port) {
+		p.Decided = true
+		if t.GroupOfNode(int(p.Src)) != t.GroupOfNode(int(p.Dst)) {
+			p.Inter = int32(randomInterNode(r, p))
+			p.ToInter = true
+			p.GlobalMisroute = true
+		}
+	}
+	return request(r, p, t.MinimalNextPort(r.ID, phaseDest(r, p)))
+}
+
+// randomInterNode picks a uniform intermediate node on a router other
+// than the source and destination routers.
+func randomInterNode(r *router.Router, p *router.Packet) int {
+	t := r.Net().Topo
+	srcR := t.RouterOfNode(int(p.Src))
+	dstR := int(p.DstRouter)
+	for {
+		ir := r.RNG.Intn(t.Routers)
+		if ir != srcR && ir != dstR {
+			return t.NodeID(ir, 0)
+		}
+	}
+}

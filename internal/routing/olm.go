@@ -1,0 +1,71 @@
+package routing
+
+import (
+	"cbar/internal/router"
+)
+
+// olmAlg is Opportunistic Local Misrouting (García et al., ICPP 2013),
+// the paper's in-transit congestion-based baseline. Every head-of-queue
+// packet re-evaluates its route each cycle:
+//
+//   - in the source group (at injection or after the first local hop,
+//     PAR-style) an inter-group packet may take a nonminimal global hop
+//     through a random global port of the current router when that
+//     port's occupancy is below OLMRelPct% of the minimal port's;
+//   - in the intermediate or destination group a packet may take one
+//     nonminimal local hop per group under the same relative-occupancy
+//     condition.
+//
+// Occupancy is the credit estimate (output buffer plus outstanding
+// credits), so the trigger carries the buffer-size dependence and
+// round-trip uncertainty the paper's §II attributes to congestion-based
+// mechanisms — that is the point of the baseline.
+type olmAlg struct {
+	router.NopHooks
+	relPct int64
+}
+
+func newOLM(o Options) *olmAlg { return &olmAlg{relPct: int64(o.OLMRelPct)} }
+
+func (*olmAlg) Name() string { return OLM.String() }
+
+func (a *olmAlg) Route(r *router.Router, p *router.Packet, port, vc int) router.Request {
+	min := minimalOut(r, p)
+	if r.Kind(min) == router.Injection {
+		return request(r, p, min) // ejection: we are home
+	}
+	qMin := int64(r.Occupancy(min))
+	// The relative comparison only engages once more than one packet is
+	// outstanding on the minimal port: a single packet's credit shadow
+	// (still in flight on the link round trip) is not congestion, and
+	// without the floor OLM would misroute a large share of light
+	// uniform traffic instead of the paper's small penalty over MIN.
+	if qMin > int64(r.Net().Cfg.PacketSize) {
+		// Occupancies are normalized by each port's capacity before
+		// the percentage comparison: the minimal continuation is
+		// often a local port (128-phit depth at Table I) while the
+		// nonminimal candidates are global ports (544-phit depth);
+		// comparing raw phit counts would stop all misrouting once
+		// the deep global buffers carry a moderate load.
+		capMin := int64(r.OccupancyCap(min))
+		cheaper := func(out int) bool {
+			q := int64(r.Occupancy(out))
+			return q*capMin*100 < a.relPct*qMin*int64(r.OccupancyCap(out))
+		}
+		if canGlobalMisroute(r, p) {
+			if out, ok := pickGlobal(r, min, cheaper); ok {
+				return request(r, p, out)
+			}
+		}
+		if canLocalMisroute(r, p, min) {
+			if out, ok := pickLocal(r, min, cheaper); ok {
+				return request(r, p, out)
+			}
+		}
+	}
+	return request(r, p, min)
+}
+
+func (a *olmAlg) OnGrant(r *router.Router, p *router.Packet, port, vc, out, outVC int) {
+	markDeviation(r, p, out)
+}

@@ -1,0 +1,109 @@
+package routing
+
+import (
+	"cbar/internal/router"
+)
+
+// pbAlg is PiggyBacking (Jiang, Kim, Dally, ISCA 2009), the paper's
+// source-routed congestion-based baseline. Every router continuously
+// flags each of its global channels saturated when the channel's credit
+// pool is nearly exhausted — fewer than PBSatPackets packets' worth of
+// credits remain. (The threshold is relative to the credit capacity, not
+// absolute occupancy: on a 100-cycle global link even uncongested flow
+// keeps bandwidth×RTT worth of credits in flight, the §II-B uncertainty,
+// so an absolute threshold would flag healthy links.) The flags are
+// shared with all routers of the group, modeling the piggybacked
+// broadcast as free and instantaneous.
+//
+// At injection the source router chooses once, UGAL-style, between the
+// minimal path and a Valiant path through a random intermediate node:
+// Valiant is chosen when the minimal global channel is flagged saturated,
+// or when the hop-weighted occupancy of the minimal first hop exceeds
+// that of the Valiant first hop by more than an offset. The decision is
+// final (source routing), which is what exposes PB to the routing
+// oscillations of Figure 9: the control variable (occupancy) is a
+// consequence of the earlier decisions it drives.
+type pbAlg struct {
+	router.NopHooks
+	satPackets int32
+	satPhits   int32
+	offset     int32
+	// sat[g][l]: is global link l of group g flagged saturated, as
+	// last broadcast within group g.
+	sat [][]bool
+}
+
+func newPB(o Options) *pbAlg {
+	return &pbAlg{offset: o.PBUgalOffsetPhits, satPackets: o.PBSatPackets}
+}
+
+func (*pbAlg) Name() string { return PB.String() }
+
+func (a *pbAlg) Attach(n *router.Network) {
+	// Saturated when the outstanding phits exceed the global link's
+	// bandwidth-delay product by more than satPackets packets: even at
+	// full utilization a healthy link keeps only ~BDP phits of credits
+	// in flight (the §II-B shadow), so anything beyond BDP + slack is
+	// genuine downstream queueing. The threshold is intentionally
+	// independent of the buffer size — tying it to capacity would make
+	// the flag unreachable with deep buffers (Figure 8's 2048-phit
+	// case) or permanently set with shallow ones.
+	bdp := int32(2*n.Cfg.LatencyGlobal + n.Cfg.PacketSize)
+	a.satPhits = bdp + a.satPackets*int32(n.Cfg.PacketSize)
+	a.sat = make([][]bool, n.Topo.Groups)
+	for g := range a.sat {
+		a.sat[g] = make([]bool, n.Topo.GlobalLinks)
+	}
+}
+
+// BeginCycle refreshes every group's saturation flags from the current
+// global-channel occupancies.
+func (a *pbAlg) BeginCycle(n *router.Network) {
+	t := n.Topo
+	first := t.FirstGlobalPort()
+	for g := 0; g < t.Groups; g++ {
+		flags := a.sat[g]
+		for pos, r := range n.Group(g) {
+			for k := 0; k < t.H; k++ {
+				flags[pos*t.H+k] = r.Occupancy(first+k) > a.satPhits
+			}
+		}
+	}
+}
+
+func (a *pbAlg) Route(r *router.Router, p *router.Packet, port, vc int) router.Request {
+	t := r.Net().Topo
+	if !p.Decided && t.IsInjectionPort(port) {
+		p.Decided = true
+		a.decide(r, p)
+	}
+	return request(r, p, t.MinimalNextPort(r.ID, phaseDest(r, p)))
+}
+
+// decide makes PB's one-time source decision for an inter-group packet.
+func (a *pbAlg) decide(r *router.Router, p *router.Packet) {
+	t := r.Net().Topo
+	g := t.GroupOf(r.ID)
+	dg := t.GroupOfNode(int(p.Dst))
+	if g == dg {
+		return // intra-group traffic is always minimal
+	}
+	inter := randomInterNode(r, p)
+	interR := t.RouterOfNode(inter)
+
+	minLink := t.GlobalLinkToGroup(g, dg)
+	saturated := a.sat[g][minLink]
+
+	minFirst := t.MinimalNextPort(r.ID, int(p.Dst))
+	valFirst := t.MinimalNextPort(r.ID, inter)
+	qMin := int64(r.Occupancy(minFirst))
+	qVal := int64(r.Occupancy(valFirst))
+	hMin := int64(t.MinimalHops(r.ID, int(p.DstRouter)) + 1)
+	hVal := int64(t.MinimalHops(r.ID, interR) + t.MinimalHops(interR, int(p.DstRouter)) + 1)
+
+	if saturated || qMin*hMin > qVal*hVal+int64(a.offset) {
+		p.Inter = int32(inter)
+		p.ToInter = true
+		p.GlobalMisroute = true
+	}
+}

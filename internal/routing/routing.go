@@ -1,0 +1,197 @@
+// Package routing implements the seven routing mechanisms evaluated in
+// the paper on top of the router fabric:
+//
+//   - MIN and VAL (Valiant), the oblivious references;
+//   - PB (PiggyBacking) and OLM (Opportunistic Local Misrouting), the
+//     congestion-based adaptive baselines, triggered by credit/occupancy
+//     estimates;
+//   - Base, Hybrid and ECtN, the paper's contention-based mechanisms
+//     (§III), triggered by the contention counters of internal/core.
+//
+// All mechanisms share the Dragonfly misrouting policy of the paper's
+// §IV-A: nonminimal global hops may be taken in the source group (at
+// injection or after the first local hop, PAR-style) toward a random
+// global link of the current router; nonminimal local hops may be taken
+// in the intermediate or destination group, at most once per visited
+// group. Deadlock avoidance uses the ascending-VC discipline: a hop's VC
+// index equals the number of previous hops of the same class, capped at
+// the port's VC count.
+package routing
+
+import (
+	"fmt"
+	"strings"
+
+	"cbar/internal/router"
+)
+
+// Algo identifies a routing mechanism.
+type Algo int
+
+// The seven mechanisms of the paper's evaluation, plus BaseProb, the
+// §VI-C statistical-trigger extension the paper describes but leaves
+// unexplored.
+const (
+	Min Algo = iota
+	Valiant
+	PB
+	OLM
+	Base
+	Hybrid
+	ECtN
+	BaseProb
+)
+
+// All returns every mechanism, in the paper's presentation order
+// (evaluated set first, then the §VI-C extension).
+func All() []Algo { return []Algo{Min, Valiant, PB, OLM, Base, Hybrid, ECtN, BaseProb} }
+
+// Evaluated returns the seven mechanisms of the paper's evaluation
+// section (without the §VI-C extension).
+func Evaluated() []Algo { return []Algo{Min, Valiant, PB, OLM, Base, Hybrid, ECtN} }
+
+func (a Algo) String() string {
+	switch a {
+	case Min:
+		return "MIN"
+	case Valiant:
+		return "VAL"
+	case PB:
+		return "PB"
+	case OLM:
+		return "OLM"
+	case Base:
+		return "Base"
+	case Hybrid:
+		return "Hybrid"
+	case ECtN:
+		return "ECtN"
+	case BaseProb:
+		return "Base-P"
+	}
+	return fmt.Sprintf("Algo(%d)", int(a))
+}
+
+// Parse resolves a case-insensitive mechanism name.
+func Parse(s string) (Algo, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "min", "minimal":
+		return Min, nil
+	case "val", "valiant":
+		return Valiant, nil
+	case "pb", "piggyback", "piggybacking":
+		return PB, nil
+	case "olm":
+		return OLM, nil
+	case "base":
+		return Base, nil
+	case "hybrid":
+		return Hybrid, nil
+	case "ectn":
+		return ECtN, nil
+	case "base-p", "basep", "baseprob":
+		return BaseProb, nil
+	}
+	return 0, fmt.Errorf("routing: unknown algorithm %q", s)
+}
+
+// IsContentionBased reports whether the mechanism uses contention
+// counters (the paper's contribution).
+func (a Algo) IsContentionBased() bool {
+	return a == Base || a == Hybrid || a == ECtN || a == BaseProb
+}
+
+// IsAdaptive reports whether the mechanism adapts to network state.
+func (a Algo) IsAdaptive() bool { return a != Min && a != Valiant }
+
+// RequiredLocalVCs returns the number of local (and injection) VCs the
+// mechanism needs for deadlock freedom: VAL and PB route through an
+// intermediate node (up to four local hops, Table I), the rest need
+// three.
+func RequiredLocalVCs(a Algo) int {
+	if a == Valiant || a == PB {
+		return 4
+	}
+	return 3
+}
+
+// Options carries every policy parameter, defaulted to Table I.
+type Options struct {
+	// BaseTh is the contention threshold of Base and of ECtN's local
+	// counters (Table I: 6).
+	BaseTh int32
+	// HybridTh is Hybrid's contention threshold (Table I: 7).
+	HybridTh int32
+	// CombinedTh is ECtN's combined-counter threshold (Table I: 10).
+	CombinedTh int32
+	// ECtNPeriod is the partial-array exchange period in cycles
+	// (Table I: 100).
+	ECtNPeriod int64
+	// OLMRelPct is OLM's relative congestion threshold: misroute when
+	// the nonminimal occupancy is below this percentage of the minimal
+	// occupancy (Table I: 50).
+	OLMRelPct int32
+	// HybridRelPct is the same threshold for Hybrid's credit component
+	// (Table I: 35).
+	HybridRelPct int32
+	// PBSatPackets is PB's global-channel saturation threshold, in
+	// packets of queued-estimate (Table I: T = 3).
+	PBSatPackets int32
+	// PBUgalOffsetPhits is the constant offset of PB's UGAL-style
+	// source comparison, in phits, biasing ties toward the minimal
+	// path.
+	PBUgalOffsetPhits int32
+	// ProbRamp is BaseProb's (§VI-C) counter-to-probability slope: the
+	// nonminimal probability reaches its cap once the counter exceeds
+	// the threshold by ProbRamp. Zero defaults to BaseTh.
+	ProbRamp int32
+	// ProbMaxPct caps BaseProb's nonminimal probability (percent), so
+	// the minimal path always keeps a share. Zero defaults to 90.
+	ProbMaxPct int32
+}
+
+// DefaultOptions returns the Table I parameter set.
+func DefaultOptions() Options {
+	return Options{
+		BaseTh:            6,
+		HybridTh:          7,
+		CombinedTh:        10,
+		ECtNPeriod:        100,
+		OLMRelPct:         50,
+		HybridRelPct:      35,
+		PBSatPackets:      3,
+		PBUgalOffsetPhits: 32,
+	}
+}
+
+// New builds the requested mechanism with the given options.
+func New(a Algo, o Options) (router.Algorithm, error) {
+	switch a {
+	case Min:
+		return &minAlg{}, nil
+	case Valiant:
+		return &valiantAlg{}, nil
+	case PB:
+		return newPB(o), nil
+	case OLM:
+		return newOLM(o), nil
+	case Base:
+		return newBase(o.BaseTh), nil
+	case Hybrid:
+		return newHybrid(o), nil
+	case ECtN:
+		return newECtN(o), nil
+	case BaseProb:
+		return newBaseProb(o.BaseTh, o.ProbRamp, o.ProbMaxPct), nil
+	}
+	return nil, fmt.Errorf("routing: unknown algorithm %v", a)
+}
+
+// MustNew is New panicking on error, for tests and fixed setups.
+func MustNew(a Algo, o Options) router.Algorithm {
+	alg, err := New(a, o)
+	if err != nil {
+		panic(err)
+	}
+	return alg
+}

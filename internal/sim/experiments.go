@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"cbar/internal/routing"
+)
+
+// Budget sizes an experiment run: simulation windows, repeats and the
+// offered-load grid. The paper's evaluation (Table I scale) uses long
+// windows and 10 repeats; scaled-down runs use proportionally smaller
+// budgets so the full figure set regenerates in minutes on a laptop.
+type Budget struct {
+	// Steady-state windows (cycles) and repeats.
+	Warmup, Measure int64
+	Seeds           int
+	// Transient windows: warmup before the switch, trace extent before
+	// (Pre) and after (Post / PostLong for the oscillation figures)
+	// the switch, and the averaging bucket width, all in cycles.
+	TransientWarmup int64
+	Pre, Post       int64
+	PostLong        int64
+	Bucket          int64
+	// Loads is the offered-load grid of the steady-state sweeps.
+	Loads []float64
+}
+
+// DefaultBudget returns a budget tuned to the scale: the paper's windows
+// at Paper scale, laptop-friendly ones below it.
+func DefaultBudget(s Scale) Budget {
+	switch s {
+	case Tiny:
+		return Budget{
+			Warmup: 1200, Measure: 1200, Seeds: 3,
+			TransientWarmup: 1200, Pre: 100, Post: 600, PostLong: 1600, Bucket: 20,
+			Loads: []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		}
+	case Small:
+		return Budget{
+			Warmup: 2500, Measure: 2500, Seeds: 3,
+			TransientWarmup: 2000, Pre: 100, Post: 800, PostLong: 1600, Bucket: 20,
+			Loads: []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		}
+	default: // Paper: §IV-B windows (warmup + 15k measured cycles, 10 repeats)
+		return Budget{
+			Warmup: 15000, Measure: 15000, Seeds: 10,
+			TransientWarmup: 10000, Pre: 100, Post: 800, PostLong: 1600, Bucket: 10,
+			Loads: []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		}
+	}
+}
+
+// transientLoad returns the offered load of the Figures 7-9 experiments:
+// 20% at the paper's (balanced) scales; the unbalanced tiny topology
+// needs 35% to sit in the same per-router pressure regime.
+func transientLoad(s Scale) float64 {
+	if s == Tiny {
+		return 0.35
+	}
+	return 0.2
+}
+
+// mixLoad returns the Figure 6 offered load: 35% in the paper; the tiny
+// topology's Valiant limit under ADV+1 is 0.25, so it drops to 20%.
+func mixLoad(s Scale) float64 {
+	if s == Tiny {
+		return 0.2
+	}
+	return 0.35
+}
+
+// Experiment regenerates one table or figure of the paper, writing CSV
+// rows to w.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(s Scale, b Budget, w io.Writer) error
+}
+
+// Experiments returns the full per-figure harness, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig5a", "Latency & throughput vs load, uniform traffic (UN)", runFig5a},
+		{"fig5b", "Latency & throughput vs load, adversarial ADV+1", runFig5b},
+		{"fig5c", "Latency & throughput vs load, adversarial ADV+h", runFig5c},
+		{"fig6", "Latency vs UN/ADV+1 mix at fixed load", runFig6},
+		{"fig7", "Transient UN->ADV+1, small buffers: latency & misrouted%", runFig7},
+		{"fig8", "Transient UN->ADV+1, large buffers (256/2048 phits)", runFig8},
+		{"fig9", "Routing oscillations: PB vs ECtN, long trace", runFig9},
+		{"fig10a", "Base threshold sensitivity under UN", runFig10a},
+		{"fig10b", "Base threshold sensitivity under ADV+1", runFig10b},
+		{"via", "§VI-A: mean saturated contention counter vs mean VCs/port", runVIA},
+	}
+}
+
+// AllExperiments returns the paper's figures followed by the ablation
+// studies of DESIGN.md.
+func AllExperiments() []Experiment {
+	return append(Experiments(), AblationExperiments()...)
+}
+
+// FindExperiment resolves an experiment (figure or ablation) by ID.
+func FindExperiment(id string) (Experiment, bool) {
+	for _, e := range AllExperiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// steadyAlgos is the mechanism set of the Figure 5 plots.
+var steadyAlgos = []routing.Algo{
+	routing.Min, routing.Valiant, routing.PB, routing.OLM,
+	routing.Base, routing.Hybrid, routing.ECtN,
+}
+
+// adaptiveAlgos is the mechanism set of the transient figures.
+var adaptiveAlgos = []routing.Algo{
+	routing.PB, routing.OLM, routing.Base, routing.Hybrid, routing.ECtN,
+}
+
+type sweepKey struct {
+	algo routing.Algo
+	load float64
+}
+
+// sweepSteady runs a full (algorithm × load) steady-state grid with all
+// points and seeds in one parallel worker pool.
+func sweepSteady(s Scale, algos []routing.Algo, w Workload, loads []float64, b Budget,
+	mutate func(*Config)) (map[sweepKey]SteadyResult, error) {
+	type job struct {
+		key  sweepKey
+		seed uint64
+	}
+	var jobs []job
+	for _, a := range algos {
+		for _, l := range loads {
+			for sd := 0; sd < b.Seeds; sd++ {
+				jobs = append(jobs, job{sweepKey{a, l}, uint64(sd)*0x1000003 + 1})
+			}
+		}
+	}
+	perJob := make([]SteadyResult, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workerCount())
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := NewConfig(s.Params(), j.key.algo)
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			perJob[i], errs[i] = steadySeed(cfg, w, j.key.load, b.Warmup, b.Measure, j.seed)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	grouped := map[sweepKey][]SteadyResult{}
+	for i, j := range jobs {
+		grouped[j.key] = append(grouped[j.key], perJob[i])
+	}
+	out := make(map[sweepKey]SteadyResult, len(grouped))
+	for k, rs := range grouped {
+		out[k] = averageSteady(rs)
+	}
+	return out, nil
+}
+
+func workerCount() int {
+	// Networks are memory-hungry at Paper scale; the pool is still
+	// CPU-bound, so GOMAXPROCS workers.
+	return maxInt(1, gomaxprocs())
+}
+
+// indirection for tests.
+var gomaxprocs = defaultGomaxprocs
+
+func defaultGomaxprocs() int { return runtime.GOMAXPROCS(0) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// writeSteadyTable prints a Figure 5-style CSV: one row per (load, algo).
+func writeSteadyTable(w io.Writer, title string, res map[sweepKey]SteadyResult, algos []routing.Algo, loads []float64) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", title); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "load,algo,avg_latency_cycles,p99_latency_cycles,accepted_phits_node_cycle,misrouted_global_frac,misrouted_local_frac,avg_hops")
+	sorted := append([]float64(nil), loads...)
+	sort.Float64s(sorted)
+	for _, l := range sorted {
+		for _, a := range algos {
+			r := res[sweepKey{a, l}]
+			fmt.Fprintf(w, "%.3f,%s,%.2f,%d,%.4f,%.4f,%.4f,%.3f\n",
+				l, r.Algo, r.AvgLatency, r.P99, r.Accepted, r.MisroutedGlobal, r.MisroutedLocal, r.AvgHops)
+		}
+	}
+	return nil
+}
+
+func runFig5(s Scale, b Budget, w io.Writer, workload Workload, title string) error {
+	res, err := sweepSteady(s, steadyAlgos, workload, b.Loads, b, nil)
+	if err != nil {
+		return err
+	}
+	return writeSteadyTable(w, title, res, steadyAlgos, b.Loads)
+}
+
+func runFig5a(s Scale, b Budget, w io.Writer) error {
+	return runFig5(s, b, w, UN(), "Fig 5a: uniform traffic (UN); reference MIN")
+}
+
+func runFig5b(s Scale, b Budget, w io.Writer) error {
+	return runFig5(s, b, w, ADV(1), "Fig 5b: adversarial ADV+1; reference VAL (limit 0.5 at balanced scale)")
+}
+
+func runFig5c(s Scale, b Budget, w io.Writer) error {
+	h := s.Params().H
+	return runFig5(s, b, w, ADV(h),
+		fmt.Sprintf("Fig 5c: adversarial ADV+h (h=%d), requires local misrouting in the intermediate group", h))
+}
+
+func runFig6(s Scale, b Budget, w io.Writer) error {
+	load := mixLoad(s)
+	fracs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	fmt.Fprintf(w, "# Fig 6: mixed ADV+1/UN traffic at load %.2f (0%% = pure ADV+1)\n", load)
+	fmt.Fprintln(w, "uniform_pct,algo,avg_latency_cycles,accepted_phits_node_cycle,misrouted_global_frac")
+	for _, frac := range fracs {
+		for _, a := range adaptiveAlgos {
+			cfg := NewConfig(s.Params(), a)
+			r, err := RunSteady(cfg, MixUN(frac, 1), load, b.Warmup, b.Measure, b.Seeds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%.0f,%s,%.2f,%.4f,%.4f\n", frac*100, r.Algo, r.AvgLatency, r.Accepted, r.MisroutedGlobal)
+		}
+	}
+	return nil
+}
+
+func writeTransientTable(w io.Writer, results []TransientResult) {
+	fmt.Fprintln(w, "cycle,algo,avg_latency_cycles,misrouted_pct")
+	for _, r := range results {
+		for i := range r.Times {
+			fmt.Fprintf(w, "%d,%s,%.2f,%.2f\n", r.Times[i], r.Algo, r.Latency[i], r.MisroutedPct[i])
+		}
+	}
+}
+
+func runTransientFigure(s Scale, b Budget, w io.Writer, algos []routing.Algo, post int64,
+	mutate func(*Config), title string) error {
+	load := transientLoad(s)
+	fmt.Fprintf(w, "# %s (UN->ADV+1 at t=0, load %.2f)\n", title, load)
+	results := make([]TransientResult, len(algos))
+	for i, a := range algos {
+		cfg := NewConfig(s.Params(), a)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		r, err := RunTransient(cfg, UN(), ADV(1), load, b.TransientWarmup, b.Pre, post, b.Bucket, b.Seeds)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+	}
+	writeTransientTable(w, results)
+	return nil
+}
+
+func runFig7(s Scale, b Budget, w io.Writer) error {
+	return runTransientFigure(s, b, w, adaptiveAlgos, b.Post, nil,
+		"Fig 7: transient response, small buffers (Table I)")
+}
+
+func runFig8(s Scale, b Budget, w io.Writer) error {
+	mutate := func(c *Config) {
+		// The paper's large-buffer variant: 256-phit local and
+		// 2048-phit global input buffers per VC, output unchanged.
+		c.Router.BufLocal = 256
+		c.Router.BufInjection = 256
+		c.Router.BufGlobal = 2048
+	}
+	return runTransientFigure(s, b, w, adaptiveAlgos, b.PostLong, mutate,
+		"Fig 8: transient response, large buffers (256/2048 phits per VC)")
+}
+
+func runFig9(s Scale, b Budget, w io.Writer) error {
+	return runTransientFigure(s, b, w, []routing.Algo{routing.PB, routing.ECtN}, b.PostLong, nil,
+		"Fig 9: routing oscillations after the switch, PB vs ECtN")
+}
+
+// fig10Thresholds derives the threshold grids of Figure 10 from the
+// scale's default (the paper sweeps 3..7 under UN and 6..12 under ADV+1
+// around its default of 6).
+func fig10Thresholds(s Scale) (un, adv []int32) {
+	d := ScaledOptions(s.Params()).BaseTh
+	for t := d - 3; t <= d+1; t++ {
+		if t >= 1 {
+			un = append(un, t)
+		}
+	}
+	for t := d; t <= d+6; t++ {
+		adv = append(adv, t)
+	}
+	return un, adv
+}
+
+func runFig10(s Scale, b Budget, w io.Writer, workload Workload, ths []int32, ref routing.Algo, title string) error {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintln(w, "load,threshold,avg_latency_cycles,accepted_phits_node_cycle")
+	for _, l := range b.Loads {
+		for _, th := range ths {
+			cfg := NewConfig(s.Params(), routing.Base)
+			cfg.Opts.BaseTh = th
+			r, err := RunSteady(cfg, workload, l, b.Warmup, b.Measure, b.Seeds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%.3f,th=%d,%.2f,%.4f\n", l, th, r.AvgLatency, r.Accepted)
+		}
+		// Oblivious reference curve (MIN for UN, VAL for ADV).
+		refCfg := NewConfig(s.Params(), ref)
+		r, err := RunSteady(refCfg, workload, l, b.Warmup, b.Measure, b.Seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.3f,%s,%.2f,%.4f\n", l, r.Algo, r.AvgLatency, r.Accepted)
+	}
+	return nil
+}
+
+func runFig10a(s Scale, b Budget, w io.Writer) error {
+	un, _ := fig10Thresholds(s)
+	return runFig10(s, b, w, UN(), un, routing.Min,
+		"Fig 10a: Base misrouting-threshold sensitivity, uniform traffic (MIN reference)")
+}
+
+func runFig10b(s Scale, b Budget, w io.Writer) error {
+	_, adv := fig10Thresholds(s)
+	return runFig10(s, b, w, ADV(1), adv, routing.Valiant,
+		"Fig 10b: Base misrouting-threshold sensitivity, ADV+1 (VAL reference)")
+}
+
+func runVIA(s Scale, b Budget, w io.Writer) error {
+	cfg := NewConfig(s.Params(), routing.Base)
+	got, err := MeanSaturatedContention(cfg, 0.95, b.Warmup, b.Measure/4, 1)
+	if err != nil {
+		return err
+	}
+	want := cfg.Router.MeanVCsPerPort()
+	fmt.Fprintln(w, "# §VI-A: mean contention counter per port under saturated UN traffic")
+	fmt.Fprintln(w, "metric,value")
+	fmt.Fprintf(w, "mean_saturated_counter,%.3f\n", got)
+	fmt.Fprintf(w, "mean_vcs_per_port_estimate,%.3f\n", want)
+	return nil
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"cbar/internal/routing"
+	"cbar/internal/traffic"
+)
+
+// benchStep measures the per-cycle cost of a whole-network step at a
+// given scale and load, the simulator's fundamental unit of work.
+func benchStep(b *testing.B, s Scale, algo routing.Algo, load float64) {
+	b.Helper()
+	c := NewConfig(s.Params(), algo)
+	net, err := BuildNetwork(c, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat, err := UN().Pattern(net.Topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj, err := traffic.NewInjector(net, traffic.Constant(pat), load, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Cycle()
+		net.Step()
+	}
+	if net.NumGenerated == 0 {
+		b.Fatal("no traffic generated")
+	}
+}
+
+func BenchmarkStepTinyBase(b *testing.B)  { benchStep(b, Tiny, routing.Base, 0.3) }
+func BenchmarkStepSmallBase(b *testing.B) { benchStep(b, Small, routing.Base, 0.3) }
+func BenchmarkStepSmallMin(b *testing.B)  { benchStep(b, Small, routing.Min, 0.3) }
+func BenchmarkStepSmallECtN(b *testing.B) { benchStep(b, Small, routing.ECtN, 0.3) }
+func BenchmarkStepSmallIdle(b *testing.B) { benchStep(b, Small, routing.Base, 0.01) }
+
+func BenchmarkBuildNetworkSmall(b *testing.B) {
+	c := NewConfig(Small.Params(), routing.Base)
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildNetwork(c, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

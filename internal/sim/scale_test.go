@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cbar/internal/routing"
+	"cbar/internal/topology"
+)
+
+func TestDefaultBudgets(t *testing.T) {
+	for _, s := range []Scale{Tiny, Small, Paper} {
+		b := DefaultBudget(s)
+		if b.Warmup <= 0 || b.Measure <= 0 || b.Seeds <= 0 {
+			t.Fatalf("%v: bad steady budget %+v", s, b)
+		}
+		if b.TransientWarmup <= 0 || b.Post <= 0 || b.PostLong < b.Post || b.Bucket <= 0 {
+			t.Fatalf("%v: bad transient budget %+v", s, b)
+		}
+		if len(b.Loads) == 0 {
+			t.Fatalf("%v: empty load grid", s)
+		}
+		for i := 1; i < len(b.Loads); i++ {
+			if b.Loads[i] <= b.Loads[i-1] {
+				t.Fatalf("%v: loads not increasing", s)
+			}
+		}
+	}
+	// The paper budget must match §IV-B: 15000 measured cycles, 10
+	// repeats.
+	p := DefaultBudget(Paper)
+	if p.Measure != 15000 || p.Seeds != 10 {
+		t.Fatalf("paper budget %+v", p)
+	}
+}
+
+func TestTransientAndMixLoads(t *testing.T) {
+	if transientLoad(Paper) != 0.2 || mixLoad(Paper) != 0.35 {
+		t.Fatal("paper-scale loads must match the paper (0.2 / 0.35)")
+	}
+	if transientLoad(Small) != 0.2 || mixLoad(Small) != 0.35 {
+		t.Fatal("small scale keeps the paper loads (balanced topology)")
+	}
+	if transientLoad(Tiny) <= 0.2 {
+		t.Fatal("tiny scale must raise the transient load (pressure regime)")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every figure of the paper's evaluation must be present.
+	for _, want := range []string{"fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "via"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+	if _, ok := FindExperiment("nope"); ok {
+		t.Fatal("FindExperiment found garbage")
+	}
+}
+
+func TestFig10ThresholdGrids(t *testing.T) {
+	un, adv := fig10Thresholds(Paper)
+	// Paper: UN sweeps 3..7, ADV sweeps 6..12 around the default of 6.
+	if len(un) != 5 || un[0] != 3 || un[len(un)-1] != 7 {
+		t.Fatalf("paper UN thresholds %v", un)
+	}
+	if len(adv) != 7 || adv[0] != 6 || adv[len(adv)-1] != 12 {
+		t.Fatalf("paper ADV thresholds %v", adv)
+	}
+	un, _ = fig10Thresholds(Tiny)
+	for _, th := range un {
+		if th < 1 {
+			t.Fatalf("tiny UN thresholds include %d < 1", th)
+		}
+	}
+}
+
+// TestRunFigVIAOutput is an end-to-end smoke test of the cheapest
+// experiment through the registry.
+func TestRunFigVIAOutput(t *testing.T) {
+	t.Parallel()
+	e, ok := FindExperiment("via")
+	if !ok {
+		t.Fatal("missing via")
+	}
+	b := DefaultBudget(Tiny)
+	b.Seeds = 1
+	b.Warmup, b.Measure = 600, 400
+	var buf bytes.Buffer
+	if err := e.Run(Tiny, b, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean_saturated_counter") {
+		t.Fatalf("unexpected output: %s", buf.String())
+	}
+}
+
+// TestSweepSteadyShape runs a minimal grid through the shared sweep
+// helper and checks the result map covers every point.
+func TestSweepSteadyShape(t *testing.T) {
+	t.Parallel()
+	b := Budget{Warmup: 300, Measure: 300, Seeds: 2}
+	algos := []routing.Algo{routing.Min, routing.Base}
+	loads := []float64{0.1, 0.2}
+	res, err := sweepSteady(Tiny, algos, UN(), loads, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("%d points, want 4", len(res))
+	}
+	for _, a := range algos {
+		for _, l := range loads {
+			r, ok := res[sweepKey{a, l}]
+			if !ok || r.Seeds != 2 {
+				t.Fatalf("missing or unmerged point %v/%v: %+v", a, l, r)
+			}
+		}
+	}
+}
+
+// TestSweepSteadyMutate checks config mutation hooks reach the runs.
+func TestSweepSteadyMutate(t *testing.T) {
+	t.Parallel()
+	b := Budget{Warmup: 200, Measure: 200, Seeds: 1}
+	called := false
+	_, err := sweepSteady(Tiny, []routing.Algo{routing.Min}, UN(), []float64{0.1}, b,
+		func(c *Config) {
+			called = true
+			if c.Router.Topo != (topology.Params{P: 4, A: 4, H: 2}) {
+				t.Error("unexpected topology in mutate")
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("mutate not called")
+	}
+}

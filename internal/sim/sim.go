@@ -1,0 +1,461 @@
+// Package sim assembles networks and runs the paper's two experiment
+// shapes: steady-state load sweeps (latency and accepted throughput
+// after warmup, §IV-B) and transient traces (per-cycle latency and
+// misrouted fraction around a traffic-pattern switch, §V-B/§V-C).
+// Repeated runs over different seeds execute in parallel and are
+// averaged, as the paper averages 10 simulations per plotted point.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cbar/internal/router"
+	"cbar/internal/routing"
+	"cbar/internal/stats"
+	"cbar/internal/topology"
+	"cbar/internal/traffic"
+)
+
+// Config is a complete simulation setup: the router micro-architecture,
+// the routing mechanism and its policy options.
+type Config struct {
+	Router router.Config
+	Algo   routing.Algo
+	Opts   routing.Options
+}
+
+// NewConfig returns the Table I configuration for the given topology and
+// mechanism, with thresholds scaled to the topology (ScaledOptions).
+func NewConfig(p topology.Params, algo routing.Algo) Config {
+	return Config{
+		Router: router.DefaultConfig(p),
+		Algo:   algo,
+		Opts:   ScaledOptions(p),
+	}
+}
+
+// normalized returns the config with the VC counts the mechanism needs
+// (VAL and PB require a fourth local VC, Table I).
+func (c Config) normalized() Config {
+	if need := routing.RequiredLocalVCs(c.Algo); c.Router.VCsLocal < need {
+		c.Router.VCsLocal = need
+	}
+	return c
+}
+
+// BuildNetwork constructs a ready-to-run network for the config.
+func BuildNetwork(c Config, seed uint64) (*router.Network, error) {
+	c = c.normalized()
+	alg, err := routing.New(c.Algo, c.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return router.Build(c.Router, alg, seed)
+}
+
+// WorkloadKind enumerates the synthetic traffic families of §IV-B.
+type WorkloadKind int
+
+// Workload kinds.
+const (
+	Uniform WorkloadKind = iota
+	Adversarial
+	Mix
+)
+
+// Workload is a declarative traffic specification, resolved against a
+// topology at run time.
+type Workload struct {
+	Kind WorkloadKind
+	// Offset is the ADV group offset (Adversarial and Mix kinds).
+	Offset int
+	// UniformFrac is the fraction of uniform traffic in a Mix.
+	UniformFrac float64
+}
+
+// UN is the uniform random workload.
+func UN() Workload { return Workload{Kind: Uniform} }
+
+// ADV is the adversarial workload with the given group offset.
+func ADV(offset int) Workload { return Workload{Kind: Adversarial, Offset: offset} }
+
+// MixUN blends uniformFrac uniform traffic with ADV+offset for the rest
+// (the Figure 6 workload).
+func MixUN(uniformFrac float64, offset int) Workload {
+	return Workload{Kind: Mix, Offset: offset, UniformFrac: uniformFrac}
+}
+
+// Name returns the paper's name for the workload.
+func (w Workload) Name() string {
+	switch w.Kind {
+	case Uniform:
+		return "UN"
+	case Adversarial:
+		return fmt.Sprintf("ADV+%d", w.Offset)
+	default:
+		return fmt.Sprintf("mix(%.0f%%UN,ADV+%d)", w.UniformFrac*100, w.Offset)
+	}
+}
+
+// Pattern resolves the workload against a topology.
+func (w Workload) Pattern(t *topology.Dragonfly) (traffic.Pattern, error) {
+	switch w.Kind {
+	case Uniform:
+		return traffic.NewUniform(t), nil
+	case Adversarial:
+		return traffic.NewAdversarial(t, w.Offset)
+	case Mix:
+		adv, err := traffic.NewAdversarial(t, w.Offset)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewMix(traffic.NewUniform(t), adv, w.UniformFrac)
+	}
+	return nil, fmt.Errorf("sim: unknown workload kind %d", w.Kind)
+}
+
+// SteadyResult aggregates a steady-state measurement across seeds.
+type SteadyResult struct {
+	Algo     string
+	Workload string
+	// Load is the offered load in phits/(node·cycle).
+	Load float64
+	// AvgLatency is the mean packet latency in cycles (generation to
+	// tail delivery, NIC queueing included).
+	AvgLatency float64
+	// P50/P99 latency percentiles in cycles.
+	P50, P99 int64
+	// Accepted is the delivered throughput in phits/(node·cycle).
+	Accepted float64
+	// MisroutedGlobal/MisroutedLocal are the fractions of delivered
+	// packets that took a nonminimal global/local hop.
+	MisroutedGlobal float64
+	MisroutedLocal  float64
+	// AvgHops is the mean router-to-router hop count.
+	AvgHops float64
+	// UtilLocal/UtilGlobal are the mean utilizations (0..1) of local
+	// and global links over the measurement window.
+	UtilLocal  float64
+	UtilGlobal float64
+	// Delivered packets counted across all seeds' windows.
+	Delivered uint64
+	Seeds     int
+}
+
+// latencyHistCap bounds the latency histogram; latencies beyond it still
+// count toward the mean but saturate percentile reporting.
+const latencyHistCap = 1 << 15
+
+// steadySeed runs one seed's steady-state experiment.
+func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed uint64) (SteadyResult, error) {
+	net, err := BuildNetwork(c, seed)
+	if err != nil {
+		return SteadyResult{}, err
+	}
+	pat, err := w.Pattern(net.Topo)
+	if err != nil {
+		return SteadyResult{}, err
+	}
+	inj, err := traffic.NewInjector(net, traffic.Constant(pat), load, seed^0x9E3779B97F4A7C15)
+	if err != nil {
+		return SteadyResult{}, err
+	}
+	var (
+		lat     stats.Welford
+		hist    = stats.NewHistogram(latencyHistCap)
+		hops    stats.Welford
+		phits   uint64
+		misG    uint64
+		misL    uint64
+		counted uint64
+	)
+	measStart := warmup
+	net.OnDeliver = func(p *router.Packet, now int64) {
+		if now < measStart {
+			return
+		}
+		l := now - p.GenTime
+		lat.Add(float64(l))
+		hist.Add(l)
+		hops.Add(float64(p.TotalHops))
+		phits += uint64(p.Size)
+		if p.GlobalMisroute {
+			misG++
+		}
+		if p.LocalMisroutes > 0 {
+			misL++
+		}
+		counted++
+	}
+	var busyLocal0, busyGlobal0 int64
+	for cyc := int64(0); cyc < warmup+measure; cyc++ {
+		if cyc == warmup {
+			_, busyLocal0, busyGlobal0 = net.LinkBusy()
+		}
+		inj.Cycle()
+		net.Step()
+	}
+	_, busyLocal1, busyGlobal1 := net.LinkBusy()
+	_, nLocal, nGlobal := net.LinkCounts()
+	res := SteadyResult{
+		Algo:       c.Algo.String(),
+		Workload:   w.Name(),
+		Load:       load,
+		AvgLatency: lat.Mean(),
+		P50:        hist.Percentile(0.50),
+		P99:        hist.Percentile(0.99),
+		Accepted:   float64(phits) / (float64(measure) * float64(net.Topo.Nodes)),
+		Delivered:  counted,
+		AvgHops:    hops.Mean(),
+		UtilLocal:  float64(busyLocal1-busyLocal0) / (float64(measure) * float64(nLocal)),
+		UtilGlobal: float64(busyGlobal1-busyGlobal0) / (float64(measure) * float64(nGlobal)),
+		Seeds:      1,
+	}
+	if counted > 0 {
+		res.MisroutedGlobal = float64(misG) / float64(counted)
+		res.MisroutedLocal = float64(misL) / float64(counted)
+	}
+	return res, nil
+}
+
+// RunSteady measures steady-state latency and throughput at one offered
+// load: `warmup` cycles are simulated unmeasured, then deliveries during
+// `measure` cycles are recorded; `seeds` independent runs execute in
+// parallel and are averaged.
+func RunSteady(c Config, w Workload, load float64, warmup, measure int64, seeds int) (SteadyResult, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	if warmup < 0 || measure < 1 {
+		return SteadyResult{}, fmt.Errorf("sim: invalid windows warmup=%d measure=%d", warmup, measure)
+	}
+	results := make([]SteadyResult, seeds)
+	err := forEachSeed(seeds, func(i int) error {
+		r, err := steadySeed(c, w, load, warmup, measure, uint64(i)*0x1000003+1)
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return SteadyResult{}, err
+	}
+	return averageSteady(results), nil
+}
+
+// averageSeeds reduces per-seed results to their mean. Percentiles are
+// averaged across seeds (each seed's percentile is itself stable given
+// the millions of samples per window).
+func averageSteady(rs []SteadyResult) SteadyResult {
+	out := rs[0]
+	if len(rs) == 1 {
+		return out
+	}
+	var lat, acc, misG, misL, hops, p50, p99, utilL, utilG float64
+	var delivered uint64
+	for _, r := range rs {
+		lat += r.AvgLatency
+		acc += r.Accepted
+		misG += r.MisroutedGlobal
+		misL += r.MisroutedLocal
+		hops += r.AvgHops
+		p50 += float64(r.P50)
+		p99 += float64(r.P99)
+		utilL += r.UtilLocal
+		utilG += r.UtilGlobal
+		delivered += r.Delivered
+	}
+	n := float64(len(rs))
+	out.AvgLatency = lat / n
+	out.Accepted = acc / n
+	out.MisroutedGlobal = misG / n
+	out.MisroutedLocal = misL / n
+	out.AvgHops = hops / n
+	out.P50 = int64(p50 / n)
+	out.P99 = int64(p99 / n)
+	out.UtilLocal = utilL / n
+	out.UtilGlobal = utilG / n
+	out.Delivered = delivered
+	out.Seeds = len(rs)
+	return out
+}
+
+// TransientResult is the averaged trace of a traffic-switch experiment:
+// per-bucket mean latency and globally-misrouted percentage of the
+// packets delivered in that bucket, on a time axis relative to the
+// switch instant (negative = before the switch).
+type TransientResult struct {
+	Algo        string
+	BucketWidth int64
+	// Times are bucket centers in cycles relative to the switch.
+	Times []int64
+	// Latency[i] is the mean delivery latency of bucket i (NaN-free:
+	// empty buckets are omitted from Times/Latency/MisroutedPct).
+	Latency []float64
+	// MisroutedPct[i] is the percentage (0-100) of packets delivered
+	// in bucket i that had taken a nonminimal global hop.
+	MisroutedPct []float64
+}
+
+// RunTransient warms the network with workload `before` for `warmup`
+// cycles, switches to `after`, and traces deliveries from `pre` cycles
+// before the switch until `post` cycles after it, averaged over seeds.
+//
+// The warmup is rounded up to a multiple of the ECtN exchange period so
+// the pattern change coincides with a partial-array distribution, the
+// scenario of Figure 7 ("the traffic changed exactly when the partial
+// counters were being distributed").
+func RunTransient(c Config, before, after Workload, load float64, warmup, pre, post, bucket int64, seeds int) (TransientResult, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	if bucket < 1 {
+		bucket = 1
+	}
+	if warmup < pre || post < bucket {
+		return TransientResult{}, fmt.Errorf("sim: invalid transient windows warmup=%d pre=%d post=%d", warmup, pre, post)
+	}
+	if p := c.Opts.ECtNPeriod; p > 0 && warmup%p != 0 {
+		warmup += p - warmup%p
+	}
+	nBuckets := int((pre + post) / bucket)
+	latSeries := make([]*stats.TimeSeries, seeds)
+	misSeries := make([]*stats.TimeSeries, seeds)
+	err := forEachSeed(seeds, func(i int) error {
+		seed := uint64(i)*0x2000003 + 17
+		net, err := BuildNetwork(c, seed)
+		if err != nil {
+			return err
+		}
+		patBefore, err := before.Pattern(net.Topo)
+		if err != nil {
+			return err
+		}
+		patAfter, err := after.Pattern(net.Topo)
+		if err != nil {
+			return err
+		}
+		sched, err := traffic.NewSchedule(
+			traffic.Phase{FromCycle: 0, Pattern: patBefore},
+			traffic.Phase{FromCycle: warmup, Pattern: patAfter},
+		)
+		if err != nil {
+			return err
+		}
+		inj, err := traffic.NewInjector(net, sched, load, seed^0xA5A5A5A5)
+		if err != nil {
+			return err
+		}
+		lat := stats.NewTimeSeries(-pre, bucket, nBuckets)
+		mis := stats.NewTimeSeries(-pre, bucket, nBuckets)
+		net.OnDeliver = func(p *router.Packet, now int64) {
+			rel := now - warmup
+			lat.Add(rel, float64(now-p.GenTime))
+			v := 0.0
+			if p.GlobalMisroute {
+				v = 100.0
+			}
+			mis.Add(rel, v)
+		}
+		for cyc := int64(0); cyc < warmup+post; cyc++ {
+			inj.Cycle()
+			net.Step()
+		}
+		latSeries[i] = lat
+		misSeries[i] = mis
+		return nil
+	})
+	if err != nil {
+		return TransientResult{}, err
+	}
+	for i := 1; i < seeds; i++ {
+		latSeries[0].Merge(latSeries[i])
+		misSeries[0].Merge(misSeries[i])
+	}
+	res := TransientResult{Algo: c.Algo.String(), BucketWidth: bucket}
+	for i := 0; i < latSeries[0].Buckets(); i++ {
+		if latSeries[0].CountAt(i) == 0 {
+			continue
+		}
+		res.Times = append(res.Times, latSeries[0].BucketTime(i)+bucket/2)
+		res.Latency = append(res.Latency, latSeries[0].Mean(i))
+		res.MisroutedPct = append(res.MisroutedPct, misSeries[0].Mean(i))
+	}
+	return res, nil
+}
+
+// forEachSeed runs f(0..n-1) on up to GOMAXPROCS goroutines and returns
+// the first error.
+func forEachSeed(n int, f func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		ferr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				bad := ferr != nil
+				mu.Unlock()
+				if bad || i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if ferr == nil {
+						ferr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ferr
+}
+
+// MeanSaturatedContention runs the §VI-A diagnostic: uniform traffic at
+// the given (over)load with the Base mechanism, returning the mean
+// contention-counter value per output port averaged over the final
+// `sample` cycles. Under saturation the paper estimates it at the mean
+// number of VCs per input port (2.74 for the Table I router).
+func MeanSaturatedContention(c Config, load float64, warmup, sample int64, seed uint64) (float64, error) {
+	c.Algo = routing.Base
+	net, err := BuildNetwork(c, seed)
+	if err != nil {
+		return 0, err
+	}
+	pat, err := UN().Pattern(net.Topo)
+	if err != nil {
+		return 0, err
+	}
+	inj, err := traffic.NewInjector(net, traffic.Constant(pat), load, seed)
+	if err != nil {
+		return 0, err
+	}
+	for cyc := int64(0); cyc < warmup; cyc++ {
+		inj.Cycle()
+		net.Step()
+	}
+	var acc stats.Welford
+	ports := float64(net.Topo.Radix())
+	for cyc := int64(0); cyc < sample; cyc++ {
+		inj.Cycle()
+		net.Step()
+		for _, r := range net.Routers {
+			acc.Add(float64(r.Contention.Sum()) / ports)
+		}
+	}
+	return acc.Mean(), nil
+}

@@ -1,0 +1,200 @@
+// Package traffic generates the synthetic workloads of the paper's
+// evaluation: uniform random (UN), adversarial (ADV+i, every node sends
+// to a random node in the group i positions away), probabilistic mixes of
+// the two (Figure 6) and time-switching schedules (Figures 7-9). Sources
+// inject by a Bernoulli process with a configurable rate in
+// phits/(node·cycle), as in §IV-B.
+package traffic
+
+import (
+	"fmt"
+
+	"cbar/internal/rng"
+	"cbar/internal/router"
+	"cbar/internal/topology"
+)
+
+// Pattern chooses a destination for each generated packet.
+type Pattern interface {
+	Name() string
+	// Dest returns a destination node for a packet sourced at node src,
+	// drawing any randomness from r.
+	Dest(src int, r *rng.PCG) int
+}
+
+// uniform sends to a random node other than the source (UN).
+type uniform struct {
+	t *topology.Dragonfly
+}
+
+// NewUniform returns the UN pattern over topology t.
+func NewUniform(t *topology.Dragonfly) Pattern { return uniform{t} }
+
+func (uniform) Name() string { return "UN" }
+
+func (u uniform) Dest(src int, r *rng.PCG) int {
+	for {
+		d := r.Intn(u.t.Nodes)
+		if d != src {
+			return d
+		}
+	}
+}
+
+// adversarial sends to a random node in the group `offset` positions
+// away (ADV+offset).
+type adversarial struct {
+	t      *topology.Dragonfly
+	offset int
+}
+
+// NewAdversarial returns the ADV+offset pattern. Offset must not be a
+// multiple of the group count (which would degenerate to intra-group
+// traffic).
+func NewAdversarial(t *topology.Dragonfly, offset int) (Pattern, error) {
+	if offset%t.Groups == 0 {
+		return nil, fmt.Errorf("traffic: ADV offset %d is a multiple of the %d groups", offset, t.Groups)
+	}
+	return adversarial{t, offset}, nil
+}
+
+func (a adversarial) Name() string { return fmt.Sprintf("ADV+%d", a.offset) }
+
+func (a adversarial) Dest(src int, r *rng.PCG) int {
+	g := a.t.GroupOfNode(src)
+	dg := g + a.offset
+	dg %= a.t.Groups
+	if dg < 0 {
+		dg += a.t.Groups
+	}
+	perGroup := a.t.A * a.t.P
+	return dg*perGroup + r.Intn(perGroup)
+}
+
+// mix draws each packet from pattern A with probability fracA, else B
+// (the Figure 6 workload: a UN/ADV+1 blend).
+type mix struct {
+	a, b  Pattern
+	fracA float64
+}
+
+// NewMix returns a per-packet probabilistic mix: fracA of the traffic
+// follows a, the rest follows b.
+func NewMix(a, b Pattern, fracA float64) (Pattern, error) {
+	if fracA < 0 || fracA > 1 {
+		return nil, fmt.Errorf("traffic: mix fraction %v outside [0,1]", fracA)
+	}
+	return mix{a, b, fracA}, nil
+}
+
+func (m mix) Name() string {
+	return fmt.Sprintf("mix(%.0f%% %s, %.0f%% %s)", m.fracA*100, m.a.Name(), (1-m.fracA)*100, m.b.Name())
+}
+
+func (m mix) Dest(src int, r *rng.PCG) int {
+	if r.Bernoulli(m.fracA) {
+		return m.a.Dest(src, r)
+	}
+	return m.b.Dest(src, r)
+}
+
+// Phase is one segment of a time-switching schedule.
+type Phase struct {
+	// FromCycle is the first cycle this phase's pattern applies to.
+	FromCycle int64
+	Pattern   Pattern
+}
+
+// Schedule switches patterns at fixed cycles (the transient experiments
+// of Figures 7-9: UN before the switch, ADV+1 after).
+type Schedule struct {
+	phases []Phase
+}
+
+// NewSchedule builds a schedule from phases ordered by FromCycle; the
+// first phase must start at or before cycle 0.
+func NewSchedule(phases ...Phase) (*Schedule, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("traffic: empty schedule")
+	}
+	if phases[0].FromCycle > 0 {
+		return nil, fmt.Errorf("traffic: schedule must cover cycle 0 (first phase starts at %d)", phases[0].FromCycle)
+	}
+	for i := 1; i < len(phases); i++ {
+		if phases[i].FromCycle <= phases[i-1].FromCycle {
+			return nil, fmt.Errorf("traffic: schedule phases out of order at %d", i)
+		}
+	}
+	for i, p := range phases {
+		if p.Pattern == nil {
+			return nil, fmt.Errorf("traffic: nil pattern in phase %d", i)
+		}
+	}
+	return &Schedule{phases: phases}, nil
+}
+
+// Constant wraps a single pattern as an all-time schedule.
+func Constant(p Pattern) *Schedule {
+	s, err := NewSchedule(Phase{FromCycle: 0, Pattern: p})
+	if err != nil {
+		panic(err) // unreachable: the single phase is always valid
+	}
+	return s
+}
+
+// At returns the pattern in force at the given cycle.
+func (s *Schedule) At(cycle int64) Pattern {
+	cur := s.phases[0].Pattern
+	for _, ph := range s.phases[1:] {
+		if cycle < ph.FromCycle {
+			break
+		}
+		cur = ph.Pattern
+	}
+	return cur
+}
+
+// Injector drives a network with Bernoulli traffic: each cycle, each node
+// generates a packet with probability load/packetSize (load measured in
+// phits/(node·cycle), §IV-B) toward a destination drawn from the
+// schedule's current pattern.
+type Injector struct {
+	net   *router.Network
+	sched *Schedule
+	prob  float64
+	load  float64
+	rng   *rng.PCG
+}
+
+// NewInjector builds an injector at the given offered load in
+// phits/(node·cycle). Loads above the injection bandwidth of 1 are
+// rejected.
+func NewInjector(net *router.Network, sched *Schedule, load float64, seed uint64) (*Injector, error) {
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("traffic: offered load %v outside [0,1] phits/(node*cycle)", load)
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("traffic: nil schedule")
+	}
+	return &Injector{
+		net:   net,
+		sched: sched,
+		prob:  load / float64(net.Cfg.PacketSize),
+		load:  load,
+		rng:   rng.New(seed, 0xC0FFEE),
+	}, nil
+}
+
+// Load returns the configured offered load in phits/(node·cycle).
+func (in *Injector) Load() float64 { return in.load }
+
+// Cycle generates this cycle's traffic; call it once per cycle before
+// Network.Step.
+func (in *Injector) Cycle() {
+	pat := in.sched.At(in.net.Now())
+	for node := 0; node < in.net.Topo.Nodes; node++ {
+		if in.rng.Bernoulli(in.prob) {
+			in.net.Inject(node, pat.Dest(node, in.rng))
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"cbar/internal/rng"
+	"cbar/internal/router"
+	"cbar/internal/routing"
+	"cbar/internal/topology"
+)
+
+func topo() *topology.Dragonfly { return topology.MustNew(topology.Params{P: 4, A: 4, H: 2}) }
+
+func TestUniformNeverSelf(t *testing.T) {
+	tp := topo()
+	u := NewUniform(tp)
+	r := rng.New(1, 1)
+	counts := make([]int, tp.Nodes)
+	for i := 0; i < 20000; i++ {
+		src := i % tp.Nodes
+		d := u.Dest(src, r)
+		if d == src {
+			t.Fatal("uniform returned self")
+		}
+		if d < 0 || d >= tp.Nodes {
+			t.Fatalf("destination %d out of range", d)
+		}
+		counts[d]++
+	}
+	// Roughly uniform: every node should receive something.
+	for n, c := range counts {
+		if c == 0 {
+			t.Fatalf("node %d never chosen", n)
+		}
+	}
+	if u.Name() != "UN" {
+		t.Fatalf("name %q", u.Name())
+	}
+}
+
+func TestAdversarialTargetsRightGroup(t *testing.T) {
+	tp := topo()
+	for _, off := range []int{1, 2, tp.H, tp.Groups - 1} {
+		a, err := NewAdversarial(tp, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(2, 2)
+		for i := 0; i < 2000; i++ {
+			src := i % tp.Nodes
+			d := a.Dest(src, r)
+			want := (tp.GroupOfNode(src) + off) % tp.Groups
+			if tp.GroupOfNode(d) != want {
+				t.Fatalf("ADV+%d: src group %d -> dst group %d, want %d",
+					off, tp.GroupOfNode(src), tp.GroupOfNode(d), want)
+			}
+		}
+	}
+}
+
+func TestAdversarialNegativeOffset(t *testing.T) {
+	tp := topo()
+	a, err := NewAdversarial(tp, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3, 3)
+	src := 0 // group 0
+	d := a.Dest(src, r)
+	if tp.GroupOfNode(d) != tp.Groups-1 {
+		t.Fatalf("ADV-1 from group 0 went to group %d", tp.GroupOfNode(d))
+	}
+}
+
+func TestAdversarialRejectsDegenerate(t *testing.T) {
+	tp := topo()
+	for _, off := range []int{0, tp.Groups, 2 * tp.Groups} {
+		if _, err := NewAdversarial(tp, off); err == nil {
+			t.Fatalf("offset %d accepted", off)
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	tp := topo()
+	adv, _ := NewAdversarial(tp, 1)
+	m, err := NewMix(NewUniform(tp), adv, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4, 4)
+	src := 0
+	adversarialHits := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		d := m.Dest(src, r)
+		if tp.GroupOfNode(d) == 1 {
+			adversarialHits++
+		}
+	}
+	// ~30% adversarial plus the uniform traffic that lands in group 1
+	// by chance (~70% * 1/9). Expect ~0.30 + 0.078 = 0.378.
+	got := float64(adversarialHits) / draws
+	if math.Abs(got-0.378) > 0.02 {
+		t.Fatalf("group-1 fraction %.3f, want ~0.378", got)
+	}
+}
+
+func TestMixRejectsBadFraction(t *testing.T) {
+	tp := topo()
+	u := NewUniform(tp)
+	for _, f := range []float64{-0.1, 1.1} {
+		if _, err := NewMix(u, u, f); err == nil {
+			t.Fatalf("fraction %v accepted", f)
+		}
+	}
+}
+
+func TestScheduleSwitching(t *testing.T) {
+	tp := topo()
+	u := NewUniform(tp)
+	a, _ := NewAdversarial(tp, 1)
+	s, err := NewSchedule(Phase{0, u}, Phase{100, a}, Phase{200, u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[int64]string{0: "UN", 99: "UN", 100: "ADV+1", 199: "ADV+1", 200: "UN", 5000: "UN"}
+	for cyc, want := range cases {
+		if got := s.At(cyc).Name(); got != want {
+			t.Fatalf("At(%d) = %s, want %s", cyc, got, want)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	tp := topo()
+	u := NewUniform(tp)
+	if _, err := NewSchedule(); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	if _, err := NewSchedule(Phase{5, u}); err == nil {
+		t.Fatal("schedule not covering cycle 0 accepted")
+	}
+	if _, err := NewSchedule(Phase{0, u}, Phase{0, u}); err == nil {
+		t.Fatal("non-increasing phases accepted")
+	}
+	if _, err := NewSchedule(Phase{0, nil}); err == nil {
+		t.Fatal("nil pattern accepted")
+	}
+}
+
+func TestConstantSchedule(t *testing.T) {
+	tp := topo()
+	s := Constant(NewUniform(tp))
+	if s.At(0).Name() != "UN" || s.At(1<<40).Name() != "UN" {
+		t.Fatal("constant schedule wrong")
+	}
+}
+
+func buildNet(t *testing.T) *router.Network {
+	t.Helper()
+	cfg := router.DefaultConfig(topology.Params{P: 4, A: 4, H: 2})
+	n, err := router.Build(cfg, routing.MustNew(routing.Min, routing.DefaultOptions()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestInjectorRate(t *testing.T) {
+	n := buildNet(t)
+	load := 0.2 // phits/(node·cycle) -> 0.025 packets/(node·cycle)
+	inj, err := NewInjector(n, Constant(NewUniform(n.Topo)), load, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Load() != load {
+		t.Fatalf("Load() = %v", inj.Load())
+	}
+	const cycles = 2000
+	for i := 0; i < cycles; i++ {
+		inj.Cycle()
+		n.Step()
+	}
+	offered := float64(n.NumGenerated+n.NumBlocked) * float64(n.Cfg.PacketSize) /
+		(float64(cycles) * float64(n.Topo.Nodes))
+	if math.Abs(offered-load) > 0.02 {
+		t.Fatalf("offered load %.4f, want %.2f", offered, load)
+	}
+	if !n.Drain(30000) {
+		t.Fatal("did not drain")
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	n := buildNet(t)
+	sched := Constant(NewUniform(n.Topo))
+	if _, err := NewInjector(n, sched, -0.1, 1); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	if _, err := NewInjector(n, sched, 1.5, 1); err == nil {
+		t.Fatal("load > 1 accepted")
+	}
+	if _, err := NewInjector(n, nil, 0.5, 1); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+}
+
+func TestInjectorZeroLoad(t *testing.T) {
+	n := buildNet(t)
+	inj, err := NewInjector(n, Constant(NewUniform(n.Topo)), 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		inj.Cycle()
+		n.Step()
+	}
+	if n.NumGenerated != 0 {
+		t.Fatalf("%d packets generated at zero load", n.NumGenerated)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() uint64 {
+		n := buildNet(t)
+		inj, _ := NewInjector(n, Constant(NewUniform(n.Topo)), 0.3, 99)
+		for i := 0; i < 500; i++ {
+			inj.Cycle()
+			n.Step()
+		}
+		n.Drain(30000)
+		return n.NumDelivered
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	tp := topo()
+	adv, _ := NewAdversarial(tp, 3)
+	if adv.Name() != "ADV+3" {
+		t.Fatalf("name %q", adv.Name())
+	}
+	m, _ := NewMix(NewUniform(tp), adv, 0.25)
+	if m.Name() == "" {
+		t.Fatal("empty mix name")
+	}
+}

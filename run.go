@@ -1,0 +1,260 @@
+package cbar
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"cbar/internal/sim"
+)
+
+// SteadyOptions sizes a steady-state measurement. Zero values take the
+// scale-appropriate defaults (the paper warms up, then measures 15000
+// cycles averaged over 10 runs at full scale).
+type SteadyOptions struct {
+	// Warmup cycles before measurement starts.
+	Warmup int64
+	// Measure is the measurement window in cycles.
+	Measure int64
+	// Seeds is the number of independent repeats (averaged; run in
+	// parallel).
+	Seeds int
+}
+
+func (o SteadyOptions) withDefaults(c Config) SteadyOptions {
+	def := sim.DefaultBudget(scaleOf(c))
+	if o.Warmup <= 0 {
+		o.Warmup = def.Warmup
+	}
+	if o.Measure <= 0 {
+		o.Measure = def.Measure
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = def.Seeds
+	}
+	return o
+}
+
+// scaleOf classifies a config by node count, for defaulting budgets.
+func scaleOf(c Config) sim.Scale {
+	switch n := c.Nodes(); {
+	case n <= 300:
+		return sim.Tiny
+	case n <= 4000:
+		return sim.Small
+	default:
+		return sim.Paper
+	}
+}
+
+// SteadyResult reports a steady-state measurement.
+type SteadyResult struct {
+	Algo     string
+	Workload string
+	// Load is the offered load in phits/(node·cycle); with 8-phit
+	// packets and 10-byte phits at 1 GHz this is tenths of 10 GB/s.
+	Load float64
+	// AvgLatency is the mean packet latency in cycles, generation to
+	// tail delivery (source queueing included).
+	AvgLatency float64
+	// P50 and P99 are latency percentiles in cycles.
+	P50, P99 int64
+	// Accepted is the delivered throughput in phits/(node·cycle).
+	Accepted float64
+	// MisroutedGlobal is the fraction of delivered packets that took a
+	// nonminimal global hop; MisroutedLocal likewise for local hops.
+	MisroutedGlobal float64
+	MisroutedLocal  float64
+	// AvgHops is the mean number of router-to-router hops.
+	AvgHops float64
+	// UtilLocal and UtilGlobal are the mean utilizations (0..1) of the
+	// local and global links over the measurement window — useful for
+	// spotting which tier saturates first (global links under ADV+1,
+	// source-group local links under ADV+h).
+	UtilLocal  float64
+	UtilGlobal float64
+	// Delivered counts packets measured across all seeds.
+	Delivered uint64
+	// Seeds is the number of averaged repeats.
+	Seeds int
+}
+
+func fromSimSteady(r sim.SteadyResult) SteadyResult {
+	return SteadyResult{
+		Algo:            r.Algo,
+		Workload:        r.Workload,
+		Load:            r.Load,
+		AvgLatency:      r.AvgLatency,
+		P50:             r.P50,
+		P99:             r.P99,
+		Accepted:        r.Accepted,
+		MisroutedGlobal: r.MisroutedGlobal,
+		MisroutedLocal:  r.MisroutedLocal,
+		AvgHops:         r.AvgHops,
+		UtilLocal:       r.UtilLocal,
+		UtilGlobal:      r.UtilGlobal,
+		Delivered:       r.Delivered,
+		Seeds:           r.Seeds,
+	}
+}
+
+// RunSteady measures latency and throughput at one offered load
+// (phits/(node·cycle), in [0,1]).
+func RunSteady(c Config, t Traffic, load float64, opt SteadyOptions) (SteadyResult, error) {
+	sc, err := c.internal()
+	if err != nil {
+		return SteadyResult{}, err
+	}
+	opt = opt.withDefaults(c)
+	r, err := sim.RunSteady(sc, t.inner, load, opt.Warmup, opt.Measure, opt.Seeds)
+	if err != nil {
+		return SteadyResult{}, err
+	}
+	return fromSimSteady(r), nil
+}
+
+// Sweep measures a whole load grid, running the points concurrently. The
+// returned slice is ordered like loads.
+func Sweep(c Config, t Traffic, loads []float64, opt SteadyOptions) ([]SteadyResult, error) {
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("cbar: empty load grid")
+	}
+	sc, err := c.internal()
+	if err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(c)
+	out := make([]SteadyResult, len(loads))
+	errs := make([]error, len(loads))
+	var wg sync.WaitGroup
+	for i, l := range loads {
+		wg.Add(1)
+		go func(i int, l float64) {
+			defer wg.Done()
+			r, err := sim.RunSteady(sc, t.inner, l, opt.Warmup, opt.Measure, opt.Seeds)
+			out[i], errs[i] = fromSimSteady(r), err
+		}(i, l)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TransientOptions sizes a traffic-switch experiment.
+type TransientOptions struct {
+	// Warmup cycles under the pre-switch pattern (rounded up to a
+	// multiple of the ECtN exchange period, matching the paper's
+	// Figure 7 scenario).
+	Warmup int64
+	// Pre and Post bound the recorded trace around the switch.
+	Pre, Post int64
+	// Bucket is the trace averaging width in cycles.
+	Bucket int64
+	// Seeds is the number of averaged repeats.
+	Seeds int
+}
+
+func (o TransientOptions) withDefaults(c Config) TransientOptions {
+	def := sim.DefaultBudget(scaleOf(c))
+	if o.Warmup <= 0 {
+		o.Warmup = def.TransientWarmup
+	}
+	if o.Pre <= 0 {
+		o.Pre = def.Pre
+	}
+	if o.Post <= 0 {
+		o.Post = def.Post
+	}
+	if o.Bucket <= 0 {
+		o.Bucket = def.Bucket
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = def.Seeds
+	}
+	return o
+}
+
+// TransientResult is a traced response to a traffic-pattern switch.
+type TransientResult struct {
+	Algo string
+	// Times are bucket centers in cycles relative to the switch
+	// (negative = before).
+	Times []int64
+	// Latency is the mean latency of packets delivered in each bucket.
+	Latency []float64
+	// MisroutedPct is the percentage (0-100) of packets delivered in
+	// each bucket that had taken a nonminimal global hop.
+	MisroutedPct []float64
+}
+
+// RunTransient warms the network under `before`, switches to `after` at
+// t=0 and traces per-bucket delivery latency and misrouted percentage
+// (the Figures 7-9 experiments).
+func RunTransient(c Config, before, after Traffic, load float64, opt TransientOptions) (TransientResult, error) {
+	sc, err := c.internal()
+	if err != nil {
+		return TransientResult{}, err
+	}
+	opt = opt.withDefaults(c)
+	r, err := sim.RunTransient(sc, before.inner, after.inner, load,
+		opt.Warmup, opt.Pre, opt.Post, opt.Bucket, opt.Seeds)
+	if err != nil {
+		return TransientResult{}, err
+	}
+	return TransientResult{
+		Algo:         r.Algo,
+		Times:        r.Times,
+		Latency:      r.Latency,
+		MisroutedPct: r.MisroutedPct,
+	}, nil
+}
+
+// ExperimentIDs lists the paper's reproducible tables and figures —
+// fig5a-fig5c, fig6, fig7, fig8, fig9, fig10a, fig10b and "via" (the
+// §VI-A saturated-counter analysis) — followed by the ablation studies
+// (abl-*).
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range sim.AllExperiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// FigureIDs lists only the paper's tables and figures (no ablations).
+func FigureIDs() []string {
+	var ids []string
+	for _, e := range sim.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// ExperimentTitle returns the human description of an experiment ID.
+func ExperimentTitle(id string) (string, error) {
+	e, ok := sim.FindExperiment(id)
+	if !ok {
+		return "", fmt.Errorf("cbar: unknown experiment %q", id)
+	}
+	return e.Title, nil
+}
+
+// RunExperiment regenerates one of the paper's tables or figures at the
+// given scale, writing CSV (with a leading comment line) to w. Seeds and
+// windows follow the scale's default budget; pass seeds > 0 to override
+// the repeat count.
+func RunExperiment(id string, s Scale, seeds int, w io.Writer) error {
+	e, ok := sim.FindExperiment(id)
+	if !ok {
+		return fmt.Errorf("cbar: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	b := sim.DefaultBudget(s.internal())
+	if seeds > 0 {
+		b.Seeds = seeds
+	}
+	return e.Run(s.internal(), b, w)
+}
