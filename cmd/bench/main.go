@@ -1,0 +1,202 @@
+// Command bench runs the simulator's step-benchmark suite plus a
+// fixed-cycle end-to-end run and writes the results as JSON, so the perf
+// trajectory of the Step hot path is tracked release over release:
+//
+//	go run ./cmd/bench -o BENCH_step.json
+//
+// The step benchmarks measure one whole-network cycle (injection included)
+// at several scales and loads; cycles/sec is the headline simulator speed
+// at that operating point. The burst benchmark measures a full
+// burst-then-drain episode rather than a single cycle.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cbar/internal/rng"
+	"cbar/internal/routing"
+	"cbar/internal/sim"
+)
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// CyclesPerSec is reported for benchmarks whose op is one simulated
+	// cycle (zero for composite ops like burst-drain).
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// CyclesPerOp is the number of simulated cycles one op covers (1 for
+	// step benchmarks; measured for burst-drain).
+	CyclesPerOp float64 `json:"cycles_per_op,omitempty"`
+}
+
+// EndToEnd is a fixed-cycle whole-simulation measurement.
+type EndToEnd struct {
+	Scale        string  `json:"scale"`
+	Algo         string  `json:"algo"`
+	Load         float64 `json:"load"`
+	Cycles       int64   `json:"cycles"`
+	WallMs       float64 `json:"wall_ms"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Delivered    uint64  `json:"delivered"`
+	AvgPhitsLoad float64 `json:"accepted_phits_per_node_cycle"`
+}
+
+// Report is the file schema of BENCH_step.json.
+type Report struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+	EndToEnd   EndToEnd      `json:"end_to_end"`
+}
+
+// stepBench returns a benchmark function measuring one injected cycle,
+// using the same shared harness as the in-tree BenchmarkStep* suite.
+func stepBench(s sim.Scale, algo routing.Algo, load float64, fullScan bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		net, inj, err := sim.NewStepBench(s, algo, load, fullScan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen0 := net.NumGenerated
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inj.Cycle()
+			net.Step()
+		}
+		// A long measured run generating nothing means the injector is
+		// broken and the numbers would record an empty network.
+		if b.N > 1000 && net.NumGenerated == gen0 {
+			b.Fatal("no traffic generated during measurement")
+		}
+	}
+}
+
+// burstDrainBench measures a burst followed by a full drain, reporting
+// the drained cycles per op via the returned counter.
+func burstDrainBench(cycles *float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		c := sim.NewConfig(sim.Small.Params(), routing.Base)
+		net, err := sim.BuildNetwork(c, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rng.New(3, 9)
+		start := net.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sim.BurstDrainStep(net, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		*cycles = float64(net.Now()-start) / float64(b.N)
+	}
+}
+
+func endToEnd(cycles int64) (EndToEnd, error) {
+	const load = 0.3
+	net, inj, err := sim.NewStepBench(sim.Small, routing.Base, load, false)
+	if err != nil {
+		return EndToEnd{}, err
+	}
+	delivered0 := net.NumDelivered
+	phits0 := net.DeliveredPhits
+	start := time.Now()
+	for i := int64(0); i < cycles; i++ {
+		inj.Cycle()
+		net.Step()
+	}
+	wall := time.Since(start)
+	return EndToEnd{
+		Scale:        "small",
+		Algo:         "base",
+		Load:         load,
+		Cycles:       cycles,
+		WallMs:       float64(wall.Microseconds()) / 1000,
+		CyclesPerSec: float64(cycles) / wall.Seconds(),
+		Delivered:    net.NumDelivered - delivered0,
+		AvgPhitsLoad: float64(net.DeliveredPhits-phits0) /
+			(float64(cycles) * float64(net.Topo.Nodes)),
+	}, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_step.json", "output file (- for stdout)")
+	e2eCycles := flag.Int64("cycles", 20000, "end-to-end run length in cycles")
+	flag.Parse()
+	if *e2eCycles < 1 {
+		fmt.Fprintf(os.Stderr, "bench: -cycles %d must be >= 1\n", *e2eCycles)
+		os.Exit(2)
+	}
+
+	var burstCycles float64
+	suite := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"StepTinyBase", stepBench(sim.Tiny, routing.Base, 0.3, false)},
+		{"StepSmallBase", stepBench(sim.Small, routing.Base, 0.3, false)},
+		{"StepSmallMin", stepBench(sim.Small, routing.Min, 0.3, false)},
+		{"StepSmallECtN", stepBench(sim.Small, routing.ECtN, 0.3, false)},
+		{"StepSmallIdle", stepBench(sim.Small, routing.Base, 0.01, false)},
+		{"StepSmallFullScanIdle", stepBench(sim.Small, routing.Base, 0.01, true)},
+		{"StepPaperIdle", stepBench(sim.Paper, routing.Base, 0.01, false)},
+		{"StepSmallBurstDrain", burstDrainBench(&burstCycles)},
+	}
+
+	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, s := range suite {
+		fmt.Fprintf(os.Stderr, "running %s...\n", s.name)
+		r := testing.Benchmark(s.fn)
+		res := BenchResult{
+			Name:        s.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if s.name == "StepSmallBurstDrain" {
+			res.CyclesPerOp = burstCycles
+		} else {
+			res.CyclesPerOp = 1
+			if res.NsPerOp > 0 {
+				res.CyclesPerSec = 1e9 / res.NsPerOp
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+
+	fmt.Fprintf(os.Stderr, "running end-to-end (%d cycles)...\n", *e2eCycles)
+	e2e, err := endToEnd(*e2eCycles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	rep.EndToEnd = e2e
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

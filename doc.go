@@ -29,4 +29,20 @@
 //
 // All simulations are deterministic for a fixed configuration and seed;
 // repeated seeds run on all available cores.
+//
+// # Performance architecture
+//
+// The per-cycle cost of the simulator scales with traffic, not topology
+// size. Network.Step services three intrusive active sets — NICs with
+// backlog, routers with unrouted head packets and routers with staged
+// output work — whose membership is updated at the mutation points
+// (injection, event handling, allocation grants), so an idle component
+// costs nothing. Between cycles, work in flight lives on a calendar
+// event ring sized to the maximum link+pipeline horizon. Delivered
+// packets are recycled through a freelist and traffic generation
+// skip-samples the next injecting node geometrically, so a steady-state
+// cycle allocates no memory at all. The original every-component scan is
+// retained behind a debug flag and equivalence tests pin the two modes
+// to cycle-for-cycle identical results; `go run ./cmd/bench` tracks the
+// hot path's speed in BENCH_step.json.
 package cbar

@@ -1,0 +1,3 @@
+module cbar
+
+go 1.24

@@ -11,6 +11,8 @@
 // seed and its own identity.
 package rng
 
+import "math"
+
 // PCG is a PCG-XSH-RR 64/32 generator. The zero value is a valid but
 // fixed-stream generator; use New or Seed for distinct streams.
 type PCG struct {
@@ -102,6 +104,27 @@ func (p *PCG) Bernoulli(prob float64) bool {
 		return true
 	}
 	return p.Float64() < prob
+}
+
+// Geometric returns the number of failures before the first success of a
+// Bernoulli(prob) sequence, via inversion sampling. It lets a caller skip
+// directly to the next success in a long trial sequence instead of
+// drawing every trial — the distribution of successes is identical to
+// per-trial Bernoulli draws. prob >= 1 always returns 0; prob <= 0
+// returns MaxInt32 (no success within any realistic range).
+func (p *PCG) Geometric(prob float64) int {
+	if prob >= 1 {
+		return 0
+	}
+	if prob <= 0 {
+		return math.MaxInt32
+	}
+	u := 1 - p.Float64() // (0, 1]: avoids log(0)
+	k := math.Floor(math.Log(u) / math.Log1p(-prob))
+	if k >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(k)
 }
 
 // Shuffle permutes the first n elements using swap, Fisher-Yates style.

@@ -212,6 +212,61 @@ func TestQuickDeterministicBySeed(t *testing.T) {
 	}
 }
 
+func TestGeometricMean(t *testing.T) {
+	// E[failures before first success] = (1-p)/p.
+	p := New(11, 3)
+	for _, prob := range []float64{0.5, 0.1, 0.01} {
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(p.Geometric(prob))
+		}
+		got := sum / n
+		want := (1 - prob) / prob
+		if got < want*0.95 || got > want*1.05 {
+			t.Errorf("Geometric(%v) mean %.2f, want %.2f ±5%%", prob, got, want)
+		}
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	p := New(1, 1)
+	if got := p.Geometric(1); got != 0 {
+		t.Errorf("Geometric(1) = %d, want 0", got)
+	}
+	if got := p.Geometric(1.5); got != 0 {
+		t.Errorf("Geometric(1.5) = %d, want 0", got)
+	}
+	if got := p.Geometric(0); got != math.MaxInt32 {
+		t.Errorf("Geometric(0) = %d, want MaxInt32", got)
+	}
+	if got := p.Geometric(-0.1); got != math.MaxInt32 {
+		t.Errorf("Geometric(-0.1) = %d, want MaxInt32", got)
+	}
+	for i := 0; i < 1000; i++ {
+		if got := p.Geometric(0.9999); got < 0 {
+			t.Fatalf("negative skip %d", got)
+		}
+	}
+}
+
+// TestGeometricMatchesBernoulli checks skip-sampling selects positions at
+// the same rate as independent per-trial draws: over a long trial
+// sequence the hit fraction must match prob.
+func TestGeometricMatchesBernoulli(t *testing.T) {
+	p := New(5, 7)
+	const trials = 1 << 20
+	const prob = 0.03
+	hits := 0
+	for pos := p.Geometric(prob); pos < trials; pos += 1 + p.Geometric(prob) {
+		hits++
+	}
+	got := float64(hits) / trials
+	if got < prob*0.95 || got > prob*1.05 {
+		t.Errorf("hit rate %.5f, want %.5f ±5%%", got, prob)
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	p := New(1, 1)
 	var sink uint64

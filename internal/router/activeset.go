@@ -1,0 +1,77 @@
+package router
+
+import "slices"
+
+// activeSet is a dirty-list of component ids (routers or NICs) that may
+// need servicing next cycle. Membership is deduplicated by per-id in-set
+// flags, additions are O(1) at the mutation points (Inject, event
+// handling, grant), and stale entries are pruned lazily while the Step
+// loop scans the set. Ids are sorted before each scan so active-set
+// stepping visits components in exactly the order the full scan would —
+// this is what makes the two step modes cycle-for-cycle identical.
+type activeSet struct {
+	ids []int32
+	in  []bool
+	// sortedLen is the length of the already-sorted prefix: everything
+	// the last sorted() call ordered, minus nothing — compaction via
+	// setLive preserves order, so only ids appended since then (the
+	// suffix) can be out of place.
+	sortedLen int
+}
+
+func newActiveSet(n int) activeSet {
+	return activeSet{in: make([]bool, n)}
+}
+
+// add marks id active. Duplicate adds are cheap no-ops.
+func (s *activeSet) add(id int32) {
+	if !s.in[id] {
+		s.in[id] = true
+		s.ids = append(s.ids, id)
+	}
+}
+
+// sorted orders the pending ids ascending and returns them. The caller
+// scans the result, keeps live ids by compacting in place (the returned
+// slice aliases s.ids) and stores the compacted slice back via setLive.
+//
+// Steady state appends only a handful of ids per cycle onto a sorted
+// prefix, where a direct insertion pass beats the generic sort's setup
+// cost by an order of magnitude; a large unsorted suffix (a burst's worth
+// of activations) falls back to the real sort.
+func (s *activeSet) sorted() []int32 {
+	ids := s.ids
+	if suffix := len(ids) - s.sortedLen; suffix > 32 {
+		slices.Sort(ids)
+	} else {
+		for i := s.sortedLen; i < len(ids); i++ {
+			v := ids[i]
+			j := i - 1
+			for j >= 0 && ids[j] > v {
+				ids[j+1] = ids[j]
+				j--
+			}
+			ids[j+1] = v
+		}
+	}
+	s.sortedLen = len(ids)
+	return ids
+}
+
+// drop clears id's in-set flag; the caller is responsible for removing it
+// from the slice (by not copying it during compaction).
+func (s *activeSet) drop(id int32) { s.in[id] = false }
+
+// setLive installs the compacted live prefix produced by a scan.
+// Compaction preserves order, so the whole slice stays sorted.
+//
+// Contract: add() must not be called on a set between its sorted() and
+// setLive() calls — setLive would truncate the appended id while its
+// in-flag stays true, permanently excluding the component. The Step
+// phases honor this: each phase only add()s to *other* sets (nicDrain
+// activates routers, never NICs; routing and link phases activate
+// nothing directly, only via future events).
+func (s *activeSet) setLive(ids []int32) {
+	s.ids = ids
+	s.sortedLen = len(ids)
+}

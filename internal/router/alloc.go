@@ -82,6 +82,8 @@ func (r *Router) grant(port, vc, out int) {
 	o.credits[outVC] -= size
 	o.outFree -= size
 	p.Granted = true
+	r.in[port].unrouted--
+	r.unrouted--
 
 	switch o.kind {
 	case Local:
@@ -114,15 +116,23 @@ func (r *Router) grant(port, vc, out int) {
 }
 
 // linkPhase starts serializing the next staged packet on every idle
-// output link.
+// output link. Only the ports on the stagedPorts dirty-list are visited
+// (in ascending order, matching the original all-port scan); ports whose
+// queue has drained are pruned in passing.
 func (r *Router) linkPhase() {
 	if r.staged == 0 {
 		return
 	}
 	now := r.net.now
-	for out := range r.out {
+	live := r.stagedPorts[:0]
+	for _, out := range r.stagedPorts {
 		o := &r.out[out]
-		if o.linkFreeAt > now || o.qLen() == 0 {
+		if o.qLen() == 0 {
+			r.stagedIn[out] = false
+			continue
+		}
+		live = append(live, out)
+		if o.linkFreeAt > now {
 			continue
 		}
 		e := o.qPop()
@@ -131,14 +141,15 @@ func (r *Router) linkPhase() {
 		o.linkFreeAt = now + size
 		o.BusyCycles += size
 		r.net.schedule(now+size,
-			event{kind: evOutFree, router: int32(r.ID), port: int16(out), pkt: e.pkt})
+			event{kind: evOutFree, router: int32(r.ID), port: out, size: e.pkt.Size})
 		if o.kind == Injection {
 			// Ejection channel: the packet is consumed by the node.
 			r.net.schedule(now+size,
-				event{kind: evDeliver, router: int32(r.ID), port: int16(out), pkt: e.pkt})
+				event{kind: evDeliver, router: int32(r.ID), port: out, pkt: e.pkt})
 		} else {
 			r.net.schedule(now+o.latency,
 				event{kind: evHeadArrive, router: o.peerRouter, port: o.peerPort, vc: e.vc, pkt: e.pkt})
 		}
 	}
+	r.stagedPorts = live
 }

@@ -10,6 +10,13 @@
 // package routing. The split mirrors the paper's architecture: the
 // contention counters sit beside the router datapath and are consulted by
 // the routing function.
+//
+// Stepping is active-set scheduled: each cycle visits only the NICs with
+// backlog, the routers with unrouted head packets and the routers with
+// staged output work, in the same ascending-id order as a full scan, so
+// per-cycle cost follows traffic rather than topology size while results
+// stay cycle-for-cycle identical to the full scan (Network.FullScan;
+// see the equivalence tests).
 package router
 
 import (

@@ -27,41 +27,27 @@ const (
 )
 
 type event struct {
-	kind   evKind
+	kind evKind
+	vc   int8
+	port int16
+	// size carries the phit count for evCredit/evOutFree, which must not
+	// retain a packet pointer: both can fire after the packet has been
+	// delivered and recycled through the freelist.
+	size   int32
 	router int32
-	port   int16
-	vc     int8
 	pkt    *Packet
 }
 
 // nic models a node's network interface: a bounded generation queue
 // draining into the router's injection buffers at one phit per cycle.
 type nic struct {
-	q          []*Packet
-	head       int
+	q          fifo[*Packet]
 	linkFreeAt int64
 }
 
-func (n *nic) len() int { return len(n.q) - n.head }
-
-func (n *nic) push(p *Packet) {
-	if n.head > 0 && n.head == len(n.q) {
-		n.q = n.q[:0]
-		n.head = 0
-	}
-	n.q = append(n.q, p)
-}
-
-func (n *nic) pop() *Packet {
-	p := n.q[n.head]
-	n.q[n.head] = nil
-	n.head++
-	if n.head == len(n.q) {
-		n.q = n.q[:0]
-		n.head = 0
-	}
-	return p
-}
+func (n *nic) len() int       { return n.q.len() }
+func (n *nic) push(p *Packet) { n.q.push(p) }
+func (n *nic) pop() *Packet   { return n.q.pop() }
 
 // Network is a complete simulated Dragonfly: routers, NICs, the event
 // calendar and cycle loop. A Network is single-goroutine; parallelism in
@@ -82,6 +68,27 @@ type Network struct {
 	mask int64
 
 	pktID uint64
+
+	// Active-set scheduler state: dirty-lists of NICs with backlog,
+	// routers with unrouted head packets and routers with staged output
+	// work. Step iterates these instead of every component, so per-cycle
+	// cost scales with traffic rather than topology size.
+	nicActive   activeSet
+	routeActive activeSet
+	linkActive  activeSet
+	// allocList is rebuilt every cycle: the routers whose routePhase
+	// registered at least one allocation request.
+	allocList []*Router
+
+	// freePkts recycles delivered packets, eliminating the steady-state
+	// allocation per Inject.
+	freePkts []*Packet
+
+	// FullScan, when true, makes Step use the original O(routers+nodes)
+	// full-scan loop instead of the active-set scheduler. The two modes
+	// are cycle-for-cycle identical (the equivalence tests pin this); the
+	// flag exists for those tests and for debugging scheduler suspicions.
+	FullScan bool
 
 	// Aggregate counters, maintained by the fabric.
 	NumGenerated   uint64 // packets accepted into NIC queues
@@ -132,9 +139,23 @@ func Build(cfg Config, alg Algorithm, seed uint64) (*Network, error) {
 		n.groups[g] = members
 	}
 	n.nics = make([]nic, topo.Nodes)
+	nicShrink := 4 * cfg.NICQueuePackets
+	if nicShrink < 16 {
+		nicShrink = 16
+	}
+	for i := range n.nics {
+		n.nics[i].q.shrinkCap = nicShrink
+	}
+	n.nicActive = newActiveSet(topo.Nodes)
+	n.routeActive = newActiveSet(topo.Routers)
+	n.linkActive = newActiveSet(topo.Routers)
 	alg.Attach(n)
 	return n, nil
 }
+
+// maxFreePackets bounds the delivery freelist so a saturation transient's
+// peak in-flight population is not retained forever.
+const maxFreePackets = 1 << 15
 
 func max64(a, b int64) int64 {
 	if a > b {
@@ -174,7 +195,15 @@ func (n *Network) Inject(src, dst int) bool {
 		n.NumBlocked++
 		return false
 	}
-	p := &Packet{
+	var p *Packet
+	if k := len(n.freePkts); k > 0 {
+		p = n.freePkts[k-1]
+		n.freePkts[k-1] = nil
+		n.freePkts = n.freePkts[:k-1]
+	} else {
+		p = new(Packet)
+	}
+	*p = Packet{
 		ID:          n.pktID,
 		Src:         int32(src),
 		Dst:         int32(dst),
@@ -188,6 +217,7 @@ func (n *Network) Inject(src, dst int) bool {
 	}
 	n.pktID++
 	q.push(p)
+	n.nicActive.add(int32(src))
 	n.NumGenerated++
 	n.InFlight++
 	return true
@@ -208,6 +238,12 @@ func (n *Network) schedule(cycle int64, ev event) {
 // Step advances the simulation by one cycle: scheduled events, the
 // algorithm's per-cycle work (broadcasts), NIC injection, routing
 // decisions, Speedup allocation iterations and link serialization.
+//
+// The per-cycle phases run over the active sets (NICs with backlog,
+// routers with unrouted heads, routers with staged output), so the cost
+// of a cycle is proportional to traffic, not topology size. The phase
+// barriers and the per-phase ascending-id visit order are identical to
+// the original full scan, which remains available behind FullScan.
 func (n *Network) Step() {
 	idx := n.now & n.mask
 	bucket := n.ring[idx]
@@ -218,6 +254,18 @@ func (n *Network) Step() {
 
 	n.Alg.BeginCycle(n)
 
+	if n.FullScan {
+		n.stepFull()
+	} else {
+		n.stepActive()
+	}
+	n.now++
+}
+
+// stepFull is the original full-scan cycle loop: every NIC, every router,
+// every phase, regardless of activity. Kept for the cycle-exactness
+// equivalence tests and as the reference semantics.
+func (n *Network) stepFull() {
 	for i := range n.nics {
 		n.nicDrain(i)
 	}
@@ -232,7 +280,61 @@ func (n *Network) Step() {
 	for _, r := range n.Routers {
 		r.linkPhase()
 	}
-	n.now++
+}
+
+// stepActive services only the active sets. Stale entries (drained NICs,
+// routers whose heads were all granted, emptied output stages) are
+// pruned lazily as each list is scanned; activation happens at the
+// mutation points (Inject, event handling, nicDrain). Scans compact the
+// sorted id slice in place, so a steady-state cycle allocates nothing.
+func (n *Network) stepActive() {
+	nics := n.nicActive.sorted()
+	nicLive := nics[:0]
+	for _, id := range nics {
+		if n.nics[id].len() == 0 {
+			n.nicActive.drop(id)
+			continue
+		}
+		nicLive = append(nicLive, id)
+		n.nicDrain(int(id))
+	}
+	n.nicActive.setLive(nicLive)
+
+	n.allocList = n.allocList[:0]
+	routers := n.routeActive.sorted()
+	routeLive := routers[:0]
+	for _, id := range routers {
+		r := n.Routers[id]
+		if r.unrouted == 0 {
+			n.routeActive.drop(id)
+			continue
+		}
+		routeLive = append(routeLive, id)
+		r.routePhase()
+		if len(r.reqPorts) > 0 {
+			n.allocList = append(n.allocList, r)
+		}
+	}
+	n.routeActive.setLive(routeLive)
+
+	for it := 0; it < n.Cfg.Speedup; it++ {
+		for _, r := range n.allocList {
+			r.allocate()
+		}
+	}
+
+	links := n.linkActive.sorted()
+	linkLive := links[:0]
+	for _, id := range links {
+		r := n.Routers[id]
+		if r.staged == 0 {
+			n.linkActive.drop(id)
+			continue
+		}
+		linkLive = append(linkLive, id)
+		r.linkPhase()
+	}
+	n.linkActive.setLive(linkLive)
 }
 
 // Run advances the simulation by `cycles` cycles.
@@ -268,14 +370,24 @@ func (n *Network) nicDrain(i int) {
 	p.LastGroup = g
 	p.LocalMisThisGroup = false
 	p.LocalHopsGroup = 0
+	newHead := ip.vcs[best].empty()
 	ip.vcs[best].push(p)
 	ip.queued++
 	r.queued++
+	if newHead {
+		ip.unrouted++
+		r.unrouted++
+		n.routeActive.add(int32(r.ID))
+	}
 	q.linkFreeAt = n.now + int64(size)
 	n.Alg.OnArrive(r, p, port, best)
 }
 
-// handle applies one scheduled event.
+// handle applies one scheduled event. Events are also the activation
+// points of the active-set scheduler: a head arrival or an exposed next
+// head puts its router on the route list, staged output work puts the
+// router on the link list, and returning credits or freed output space
+// re-arm a router that may have been blocked on them.
 func (n *Network) handle(ev *event) {
 	switch ev.kind {
 	case evHeadArrive:
@@ -288,47 +400,75 @@ func (n *Network) handle(ev *event) {
 			p.LocalMisThisGroup = false
 			p.LocalHopsGroup = 0
 		}
-		r.in[ev.port].vcs[ev.vc].push(p)
-		r.in[ev.port].queued++
+		ip := &r.in[ev.port]
+		newHead := ip.vcs[ev.vc].empty()
+		ip.vcs[ev.vc].push(p)
+		ip.queued++
 		r.queued++
+		if newHead {
+			ip.unrouted++
+			r.unrouted++
+			n.routeActive.add(ev.router)
+		}
 		n.Alg.OnArrive(r, p, int(ev.port), int(ev.vc))
 
 	case evTailLeave:
 		r := n.Routers[ev.router]
 		ip := &r.in[ev.port]
-		p := ip.vcs[ev.vc].pop()
+		vq := &ip.vcs[ev.vc]
+		p := vq.pop()
 		if p != ev.pkt {
 			panic("router: tail-leave for a packet not at queue head")
 		}
 		ip.queued--
 		r.queued--
+		if !vq.empty() {
+			// The next packet becomes head; it has never been granted
+			// (only heads are), so it needs routing.
+			ip.unrouted++
+			r.unrouted++
+			n.routeActive.add(ev.router)
+		}
 		n.Alg.OnDequeue(r, p, int(ev.port), int(ev.vc))
 		if ip.upRouter >= 0 {
 			up := n.Routers[ip.upRouter]
 			lat := up.out[ip.upPort].latency
 			n.schedule(n.now+lat,
-				event{kind: evCredit, router: ip.upRouter, port: ip.upPort, vc: ev.vc, pkt: p})
+				event{kind: evCredit, router: ip.upRouter, port: ip.upPort, vc: ev.vc, size: p.Size})
 		}
 
 	case evCredit:
 		o := &n.Routers[ev.router].out[ev.port]
-		o.credits[ev.vc] += ev.pkt.Size
+		o.credits[ev.vc] += ev.size
+		// A head blocked on these credits keeps its router in the route
+		// set (unrouted > 0 prevents pruning), so this add is usually a
+		// flag-check no-op; it is kept as insurance against any future
+		// scheduler that prunes more aggressively.
+		n.routeActive.add(ev.router)
 
 	case evPipeDone:
 		r := n.Routers[ev.router]
 		r.out[ev.port].qPush(outEntry{pkt: ev.pkt, vc: ev.vc})
 		r.staged++
+		r.noteStaged(ev.port)
+		n.linkActive.add(ev.router)
 
 	case evOutFree:
 		o := &n.Routers[ev.router].out[ev.port]
-		o.outFree += ev.pkt.Size
+		o.outFree += ev.size
+		n.routeActive.add(ev.router)
 
 	case evDeliver:
 		n.NumDelivered++
 		n.DeliveredPhits += uint64(ev.pkt.Size)
 		n.InFlight--
 		if n.OnDeliver != nil {
+			// The packet's fields are stable for the duration of the
+			// callback; after it returns the packet may be recycled.
 			n.OnDeliver(ev.pkt, n.now)
+		}
+		if len(n.freePkts) < maxFreePackets {
+			n.freePkts = append(n.freePkts, ev.pkt)
 		}
 	}
 }
@@ -344,6 +484,11 @@ func (n *Network) CheckInvariants() error {
 	}
 	if n.InFlight < 0 {
 		return fmt.Errorf("router: negative in-flight count %d", n.InFlight)
+	}
+	for i := range n.nics {
+		if n.nics[i].len() > 0 && !n.nicActive.in[i] {
+			return fmt.Errorf("router: NIC %d has backlog %d but is not in the NIC set", i, n.nics[i].len())
+		}
 	}
 	if n.NumGenerated-n.NumDelivered != uint64(n.InFlight) {
 		return fmt.Errorf("router: conservation violated: generated %d - delivered %d != in-flight %d",

@@ -7,6 +7,11 @@ import "fmt"
 // allocation and routing decisions happen once per packet. A packet lives
 // in exactly one input queue (or NIC queue, or output stage) at a time,
 // so per-hop transient state can live directly on the struct.
+//
+// Delivered packets are recycled through the network's freelist: a
+// packet's fields are stable until the OnDeliver callback for it
+// returns, after which the struct may be reused by a future Inject.
+// Observers that need a packet's data past delivery must copy it.
 type Packet struct {
 	ID  uint64
 	Src int32 // source node

@@ -1,5 +1,47 @@
 package router
 
+// fifo is a growable FIFO backing NIC queues and output-port stages.
+// Its backing slice stays bounded under sustained traffic: pushes
+// compact the dead prefix whenever it reaches the live region's size
+// (amortized O(1)), and a drain drops capacity beyond shrinkCap so a
+// transient burst's peak is not retained forever.
+type fifo[T any] struct {
+	buf       []T
+	head      int
+	shrinkCap int
+}
+
+func (f *fifo[T]) len() int { return len(f.buf) - f.head }
+
+func (f *fifo[T]) push(v T) {
+	if f.head > 0 && f.head >= len(f.buf)-f.head {
+		var zero T
+		live := copy(f.buf, f.buf[f.head:])
+		for i := live; i < len(f.buf); i++ {
+			f.buf[i] = zero
+		}
+		f.buf = f.buf[:live]
+		f.head = 0
+	}
+	f.buf = append(f.buf, v)
+}
+
+func (f *fifo[T]) pop() T {
+	var zero T
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head++
+	if f.head == len(f.buf) {
+		if cap(f.buf) > f.shrinkCap {
+			f.buf = nil
+		} else {
+			f.buf = f.buf[:0]
+		}
+		f.head = 0
+	}
+	return v
+}
+
 // vcQueue is one virtual channel's input buffer: a FIFO of packets with
 // phit-granular occupancy accounting. Capacity admission is enforced by
 // the upstream credit counters, not here; the queue only asserts the

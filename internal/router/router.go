@@ -19,6 +19,10 @@ type inPort struct {
 	upRouter int32 // -1 for injection ports
 	upPort   int16
 	queued   int32 // packets across this port's VCs (fast-path skip)
+	// unrouted counts head packets of this port's VCs that have not been
+	// granted yet — the ports routePhase must scan. Maintained at push
+	// (head of an empty VC), pop (next head exposed) and grant.
+	unrouted int32
 }
 
 // outEntry is a packet staged in an output buffer with its downstream VC.
@@ -40,8 +44,7 @@ type outPort struct {
 	outFree   int32
 	outCap    int32
 
-	q          []outEntry // output buffer FIFO (head at index qHead)
-	qHead      int
+	q          fifo[outEntry] // output buffer FIFO
 	linkFreeAt int64
 
 	rrIn int // output-arbiter round-robin pointer
@@ -51,20 +54,14 @@ type outPort struct {
 	BusyCycles int64
 }
 
-func (o *outPort) qLen() int { return len(o.q) - o.qHead }
+// outQueueShrinkCap bounds the output-buffer FIFO's retained capacity:
+// live entries are limited by BufOut admission (outCap/PacketSize, 4 for
+// Table I), so anything past this is a transient's leftover.
+const outQueueShrinkCap = 64
 
-func (o *outPort) qPush(e outEntry) { o.q = append(o.q, e) }
-
-func (o *outPort) qPop() outEntry {
-	e := o.q[o.qHead]
-	o.q[o.qHead].pkt = nil
-	o.qHead++
-	if o.qHead == len(o.q) { // drained: reset backing slice
-		o.q = o.q[:0]
-		o.qHead = 0
-	}
-	return e
-}
+func (o *outPort) qLen() int        { return o.q.len() }
+func (o *outPort) qPush(e outEntry) { o.q.push(e) }
+func (o *outPort) qPop() outEntry   { return o.q.pop() }
 
 // Router is one simulated router: input VC buffers, output ports with
 // credits, the separable allocator state and the contention-counter
@@ -91,6 +88,17 @@ type Router struct {
 
 	queued int // packets currently in input queues
 	staged int // packets currently in output buffers or being serialized
+	// unrouted counts head packets across all input VCs that have not
+	// been granted; the router needs routePhase/allocate service exactly
+	// while it is nonzero, which is what keeps it in the route set.
+	unrouted int32
+
+	// stagedPorts lists the output ports with staged packets, ascending
+	// (linkPhase must visit ports in the same order the full scan did);
+	// stagedIn deduplicates membership. Ports join at evPipeDone and
+	// leave lazily when linkPhase finds their queue empty.
+	stagedPorts []int16
+	stagedIn    []bool
 
 	// allocator state and scratch
 	rrVC     []int  // per input port: round-robin pointer over VCs
@@ -99,6 +107,23 @@ type Router struct {
 	candLen  []int
 	reqPorts []int16 // input ports with pending requests this cycle
 	dirtyOut []int16 // output ports with candidates this iteration
+}
+
+// noteStaged records that output port `out` has staged work, keeping
+// stagedPorts sorted (a packet's pipeline latency bounds list growth to
+// the radix, so the insertion shift is tiny).
+func (r *Router) noteStaged(out int16) {
+	if r.stagedIn[out] {
+		return
+	}
+	r.stagedIn[out] = true
+	i := len(r.stagedPorts)
+	r.stagedPorts = append(r.stagedPorts, out)
+	for i > 0 && r.stagedPorts[i-1] > out {
+		r.stagedPorts[i] = r.stagedPorts[i-1]
+		i--
+	}
+	r.stagedPorts[i] = out
 }
 
 func newRouter(id int, net *Network) *Router {
@@ -112,12 +137,14 @@ func newRouter(id int, net *Network) *Router {
 		out:        make([]outPort, radix),
 		Contention: core.NewCounters(radix),
 		RNG:        rng.New(net.seed, uint64(id)+1),
-		rrVC:       make([]int, radix),
-		s1:         make([]int8, radix),
-		candIn:     make([][]int16, radix),
-		candLen:    make([]int, radix),
-		reqPorts:   make([]int16, 0, radix),
-		dirtyOut:   make([]int16, 0, radix),
+		rrVC:        make([]int, radix),
+		s1:          make([]int8, radix),
+		candIn:      make([][]int16, radix),
+		candLen:     make([]int, radix),
+		reqPorts:    make([]int16, 0, radix),
+		dirtyOut:    make([]int16, 0, radix),
+		stagedPorts: make([]int16, 0, radix),
+		stagedIn:    make([]bool, radix),
 	}
 	for p := 0; p < radix; p++ {
 		r.candIn[p] = make([]int16, radix)
@@ -142,6 +169,7 @@ func newRouter(id int, net *Network) *Router {
 		// Output side.
 		op := &r.out[port]
 		op.kind = kind
+		op.q.shrinkCap = outQueueShrinkCap
 		op.latency = int64(cfg.LatencyFor(kind))
 		op.outCap = int32(cfg.BufOut)
 		op.outFree = op.outCap
@@ -243,16 +271,19 @@ func (r *Router) LinkBusy(port int) bool { return r.out[port].linkFreeAt > r.net
 
 // routePhase fires head hooks and (re)collects allocation requests for
 // every unrouted head packet, recording which input ports need
-// arbitration this cycle.
+// arbitration this cycle. Routers and ports whose heads are all granted
+// (or absent) are skipped via the unrouted counters — scanning them
+// would be a guaranteed no-op, so the reqPorts rebuild only ever visits
+// ports that can actually contribute a request.
 func (r *Router) routePhase() {
 	r.reqPorts = r.reqPorts[:0]
-	if r.queued == 0 {
+	if r.unrouted == 0 {
 		return
 	}
 	alg := r.net.Alg
 	for port := range r.in {
 		ip := &r.in[port]
-		if ip.queued == 0 {
+		if ip.unrouted == 0 {
 			continue
 		}
 		requesting := false
@@ -292,8 +323,10 @@ func (r *Router) checkInvariants() error {
 			}
 		}
 	}
+	var totQueued, totUnrouted int32
 	for port := range r.in {
 		ip := &r.in[port]
+		var portQueued, portUnrouted int32
 		for v := range ip.vcs {
 			q := &ip.vcs[v]
 			if q.usedPhits < 0 || q.usedPhits > q.capPhits {
@@ -306,7 +339,43 @@ func (r *Router) checkInvariants() error {
 			if sum != q.usedPhits {
 				return fmt.Errorf("router %d in %d vc %d: used %d but packets sum %d", r.ID, port, v, q.usedPhits, sum)
 			}
+			portQueued += int32(q.n)
+			if h := q.headPkt(); h != nil && !h.Granted {
+				portUnrouted++
+			}
 		}
+		if ip.queued != portQueued {
+			return fmt.Errorf("router %d in %d: queued %d but counted %d", r.ID, port, ip.queued, portQueued)
+		}
+		if ip.unrouted != portUnrouted {
+			return fmt.Errorf("router %d in %d: unrouted %d but counted %d", r.ID, port, ip.unrouted, portUnrouted)
+		}
+		totQueued += portQueued
+		totUnrouted += portUnrouted
+	}
+	if int32(r.queued) != totQueued {
+		return fmt.Errorf("router %d: queued %d but counted %d", r.ID, r.queued, totQueued)
+	}
+	if r.unrouted != totUnrouted {
+		return fmt.Errorf("router %d: unrouted %d but counted %d", r.ID, r.unrouted, totUnrouted)
+	}
+	// A router with routable work must be on the route set's radar
+	// (in-set flags are cleared only when unrouted drops to zero).
+	if totUnrouted > 0 && !r.net.routeActive.in[r.ID] {
+		return fmt.Errorf("router %d: %d unrouted heads but not in route set", r.ID, totUnrouted)
+	}
+	var stagedQ int
+	for port := range r.out {
+		stagedQ += r.out[port].qLen()
+		if r.out[port].qLen() > 0 && !r.stagedIn[port] {
+			return fmt.Errorf("router %d out %d: staged work but not on stagedPorts", r.ID, port)
+		}
+	}
+	if stagedQ != r.staged {
+		return fmt.Errorf("router %d: staged %d but output queues hold %d", r.ID, r.staged, stagedQ)
+	}
+	if stagedQ > 0 && !r.net.linkActive.in[r.ID] {
+		return fmt.Errorf("router %d: %d staged packets but not in link set", r.ID, stagedQ)
 	}
 	return nil
 }

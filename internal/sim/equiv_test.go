@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"cbar/internal/router"
+	"cbar/internal/routing"
+	"cbar/internal/traffic"
+)
+
+// equivRun drives one network for `cycles` cycles with the given
+// workload at `load`, in the requested step mode, recording a per-packet
+// latency histogram and checking invariants plus counter checkpoints
+// every 1k cycles.
+func equivRun(t *testing.T, c Config, w Workload, load float64, cycles int64, fullScan bool) (map[int64]uint64, []uint64, *router.Network) {
+	t.Helper()
+	net, err := BuildNetwork(c, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.FullScan = fullScan
+	pat, err := w.Pattern(net.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := traffic.NewInjector(net, traffic.Constant(pat), load, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make(map[int64]uint64)
+	net.OnDeliver = func(p *router.Packet, now int64) {
+		hist[now-p.GenTime]++
+	}
+	var checkpoints []uint64
+	for cyc := int64(0); cyc < cycles; cyc++ {
+		inj.Cycle()
+		net.Step()
+		if (cyc+1)%1000 == 0 {
+			if err := net.CheckInvariants(); err != nil {
+				t.Fatalf("fullScan=%v cycle %d: %v", fullScan, cyc, err)
+			}
+			checkpoints = append(checkpoints, net.NumGenerated, net.NumDelivered, uint64(net.InFlight))
+		}
+	}
+	return hist, checkpoints, net
+}
+
+// TestStepEquivalenceAcrossAlgorithms runs the paper's workloads under
+// real routing mechanisms in both step modes and requires identical
+// results: same generation and blocking counts, same deliveries, the
+// same per-packet latency histogram, and matching counter checkpoints at
+// every 1k cycles. This is the contract that lets the active-set
+// scheduler replace the full scan without revalidating any figure.
+func TestStepEquivalenceAcrossAlgorithms(t *testing.T) {
+	cases := []struct {
+		name   string
+		algo   routing.Algo
+		w      Workload
+		load   float64
+		cycles int64
+	}{
+		{"base-uniform", routing.Base, UN(), 0.25, 2500},
+		{"base-adversarial", routing.Base, ADV(1), 0.3, 2500},
+		{"ectn-uniform", routing.ECtN, UN(), 0.2, 2000},
+		{"olm-adversarial", routing.OLM, ADV(1), 0.25, 2000},
+		{"pb-uniform", routing.PB, UN(), 0.25, 1500},
+		{"val-uniform", routing.Valiant, UN(), 0.25, 1500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewConfig(Small.Params(), tc.algo)
+			fullHist, fullCk, nFull := equivRun(t, c, tc.w, tc.load, tc.cycles, true)
+			actHist, actCk, nAct := equivRun(t, c, tc.w, tc.load, tc.cycles, false)
+
+			if nFull.NumGenerated != nAct.NumGenerated || nFull.NumBlocked != nAct.NumBlocked {
+				t.Fatalf("generation diverged: full %d/%d vs active %d/%d",
+					nFull.NumGenerated, nFull.NumBlocked, nAct.NumGenerated, nAct.NumBlocked)
+			}
+			if nFull.NumDelivered != nAct.NumDelivered || nFull.DeliveredPhits != nAct.DeliveredPhits {
+				t.Fatalf("delivery diverged: full %d (%d phits) vs active %d (%d phits)",
+					nFull.NumDelivered, nFull.DeliveredPhits, nAct.NumDelivered, nAct.DeliveredPhits)
+			}
+			if nFull.NumDelivered == 0 {
+				t.Fatal("no traffic delivered")
+			}
+			if len(fullCk) != len(actCk) {
+				t.Fatalf("checkpoint counts differ: %d vs %d", len(fullCk), len(actCk))
+			}
+			for i := range fullCk {
+				if fullCk[i] != actCk[i] {
+					t.Fatalf("checkpoint %d diverged: full %d vs active %d (checkpoints are [gen, delivered, inflight] per 1k cycles)",
+						i, fullCk[i], actCk[i])
+				}
+			}
+			if len(fullHist) != len(actHist) {
+				t.Fatalf("latency histograms differ in support: %d vs %d bins", len(fullHist), len(actHist))
+			}
+			for lat, cnt := range fullHist {
+				if actHist[lat] != cnt {
+					t.Fatalf("latency %d: full count %d vs active %d", lat, cnt, actHist[lat])
+				}
+			}
+		})
+	}
+}

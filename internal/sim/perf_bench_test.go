@@ -3,34 +3,38 @@ package sim
 import (
 	"testing"
 
+	"cbar/internal/rng"
+	"cbar/internal/router"
 	"cbar/internal/routing"
 	"cbar/internal/traffic"
 )
 
+func mustStepBench(b *testing.B, s Scale, algo routing.Algo, load float64, fullScan bool) (*router.Network, *traffic.Injector) {
+	b.Helper()
+	net, inj, err := NewStepBench(s, algo, load, fullScan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, inj
+}
+
 // benchStep measures the per-cycle cost of a whole-network step at a
-// given scale and load, the simulator's fundamental unit of work.
+// given scale and load, the simulator's fundamental unit of work, from
+// a warmed steady state (see NewStepBench).
 func benchStep(b *testing.B, s Scale, algo routing.Algo, load float64) {
 	b.Helper()
-	c := NewConfig(s.Params(), algo)
-	net, err := BuildNetwork(c, 1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	pat, err := UN().Pattern(net.Topo)
-	if err != nil {
-		b.Fatal(err)
-	}
-	inj, err := traffic.NewInjector(net, traffic.Constant(pat), load, 2)
-	if err != nil {
-		b.Fatal(err)
-	}
+	net, inj := mustStepBench(b, s, algo, load, false)
+	gen0 := net.NumGenerated
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		inj.Cycle()
 		net.Step()
 	}
-	if net.NumGenerated == 0 {
-		b.Fatal("no traffic generated")
+	// Guard against silently measuring an idle network: over any
+	// long measured run new traffic must have been generated (short
+	// probe runs at low load can legitimately generate nothing).
+	if b.N > 1000 && net.NumGenerated == gen0 {
+		b.Fatal("no traffic generated during measurement")
 	}
 }
 
@@ -39,6 +43,46 @@ func BenchmarkStepSmallBase(b *testing.B) { benchStep(b, Small, routing.Base, 0.
 func BenchmarkStepSmallMin(b *testing.B)  { benchStep(b, Small, routing.Min, 0.3) }
 func BenchmarkStepSmallECtN(b *testing.B) { benchStep(b, Small, routing.ECtN, 0.3) }
 func BenchmarkStepSmallIdle(b *testing.B) { benchStep(b, Small, routing.Base, 0.01) }
+
+// BenchmarkStepPaperIdle is the regime the active-set scheduler exists
+// for: the full Table I system (2064 routers, 16512 nodes) at 1% load,
+// where nearly every component is idle on any given cycle.
+func BenchmarkStepPaperIdle(b *testing.B) { benchStep(b, Paper, routing.Base, 0.01) }
+
+// BenchmarkStepSmallFullScanIdle pins the cost of the original
+// every-component loop at the same operating point as StepSmallIdle, so
+// the active-set win is visible within one benchmark run.
+func BenchmarkStepSmallFullScanIdle(b *testing.B) {
+	net, inj := mustStepBench(b, Small, routing.Base, 0.01, true)
+	gen0 := net.NumGenerated
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Cycle()
+		net.Step()
+	}
+	if b.N > 1000 && net.NumGenerated == gen0 {
+		b.Fatal("no traffic generated during measurement")
+	}
+}
+
+// BenchmarkStepSmallBurstDrain measures the burst-then-drain regime: a
+// synchronized burst enters the NIC queues, then the network is stepped
+// until it fully drains. Most of those cycles have only a dwindling tail
+// of active components, which a full scan pays topology cost for.
+func BenchmarkStepSmallBurstDrain(b *testing.B) {
+	c := NewConfig(Small.Params(), routing.Base)
+	net, err := BuildNetwork(c, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(3, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := BurstDrainStep(net, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkBuildNetworkSmall(b *testing.B) {
 	c := NewConfig(Small.Params(), routing.Base)

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+
+	"cbar/internal/rng"
+	"cbar/internal/router"
+	"cbar/internal/routing"
+	"cbar/internal/traffic"
+)
+
+// Step-benchmark harness shared by the in-tree benchmarks
+// (perf_bench_test.go) and cmd/bench, so the tracked BENCH_step.json
+// record and `go test -bench` always measure the same operating points.
+
+// StepBenchWarmup is the number of cycles a step benchmark runs before
+// measurement so the network is in steady state (populated freelist,
+// settled active sets) rather than cold.
+const StepBenchWarmup = 500
+
+// NewStepBench builds a network and injector at the given scale,
+// algorithm and uniform offered load, applies the step mode and warms
+// the network into steady state.
+func NewStepBench(s Scale, algo routing.Algo, load float64, fullScan bool) (*router.Network, *traffic.Injector, error) {
+	c := NewConfig(s.Params(), algo)
+	net, err := BuildNetwork(c, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	net.FullScan = fullScan
+	pat, err := UN().Pattern(net.Topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	inj, err := traffic.NewInjector(net, traffic.Constant(pat), load, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < StepBenchWarmup; i++ {
+		inj.Cycle()
+		net.Step()
+	}
+	return net, inj, nil
+}
+
+// BurstDrainStep runs one episode of the burst-then-drain benchmark: a
+// 256-packet random burst into the NIC queues, then stepping until the
+// network fully drains.
+func BurstDrainStep(net *router.Network, r *rng.PCG) error {
+	const burst = 256
+	nodes := net.Topo.Nodes
+	for k := 0; k < burst; k++ {
+		src := r.Intn(nodes)
+		dst := r.Intn(nodes)
+		if dst == src {
+			dst = (dst + 1) % nodes
+		}
+		net.Inject(src, dst)
+	}
+	if !net.Drain(1 << 20) {
+		return fmt.Errorf("sim: burst did not drain")
+	}
+	return nil
+}

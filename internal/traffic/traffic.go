@@ -190,11 +190,25 @@ func (in *Injector) Load() float64 { return in.load }
 
 // Cycle generates this cycle's traffic; call it once per cycle before
 // Network.Step.
+//
+// Instead of a Bernoulli draw per node — O(nodes) every cycle no matter
+// the load — the injector skip-samples: geometric jumps land directly on
+// the nodes that generate this cycle, so the cost is proportional to the
+// number of packets generated. The node set produced is distributed
+// identically to independent per-node draws (inversion sampling).
 func (in *Injector) Cycle() {
+	if in.prob <= 0 {
+		return
+	}
 	pat := in.sched.At(in.net.Now())
-	for node := 0; node < in.net.Topo.Nodes; node++ {
-		if in.rng.Bernoulli(in.prob) {
+	nodes := in.net.Topo.Nodes
+	if in.prob >= 1 {
+		for node := 0; node < nodes; node++ {
 			in.net.Inject(node, pat.Dest(node, in.rng))
 		}
+		return
+	}
+	for node := in.rng.Geometric(in.prob); node < nodes; node += 1 + in.rng.Geometric(in.prob) {
+		in.net.Inject(node, pat.Dest(node, in.rng))
 	}
 }
