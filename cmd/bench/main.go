@@ -60,9 +60,12 @@ type Report struct {
 
 // stepBench returns a benchmark function measuring one injected cycle,
 // using the same shared harness as the in-tree BenchmarkStep* suite.
-func stepBench(s sim.Scale, algo routing.Algo, load float64, fullScan bool) func(b *testing.B) {
+// fullScan selects the every-component fabric loop; refScan the
+// full-recompute reference algorithm state (polled PB saturation flags,
+// combine-every-group ECtN).
+func stepBench(s sim.Scale, algo routing.Algo, load float64, fullScan, refScan bool) func(b *testing.B) {
 	return func(b *testing.B) {
-		net, inj, err := sim.NewStepBench(s, algo, load, fullScan)
+		net, inj, err := sim.NewStepBench(s, algo, load, fullScan, refScan)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +109,7 @@ func burstDrainBench(cycles *float64) func(b *testing.B) {
 
 func endToEnd(cycles int64) (EndToEnd, error) {
 	const load = 0.3
-	net, inj, err := sim.NewStepBench(sim.Small, routing.Base, load, false)
+	net, inj, err := sim.NewStepBench(sim.Small, routing.Base, load, false, false)
 	if err != nil {
 		return EndToEnd{}, err
 	}
@@ -145,13 +148,24 @@ func main() {
 		name string
 		fn   func(b *testing.B)
 	}{
-		{"StepTinyBase", stepBench(sim.Tiny, routing.Base, 0.3, false)},
-		{"StepSmallBase", stepBench(sim.Small, routing.Base, 0.3, false)},
-		{"StepSmallMin", stepBench(sim.Small, routing.Min, 0.3, false)},
-		{"StepSmallECtN", stepBench(sim.Small, routing.ECtN, 0.3, false)},
-		{"StepSmallIdle", stepBench(sim.Small, routing.Base, 0.01, false)},
-		{"StepSmallFullScanIdle", stepBench(sim.Small, routing.Base, 0.01, true)},
-		{"StepPaperIdle", stepBench(sim.Paper, routing.Base, 0.01, false)},
+		{"StepTinyBase", stepBench(sim.Tiny, routing.Base, 0.3, false, false)},
+		{"StepSmallBase", stepBench(sim.Small, routing.Base, 0.3, false, false)},
+		{"StepSmallMin", stepBench(sim.Small, routing.Min, 0.3, false, false)},
+		{"StepSmallECtN", stepBench(sim.Small, routing.ECtN, 0.3, false, false)},
+		{"StepSmallPB", stepBench(sim.Small, routing.PB, 0.3, false, false)},
+		{"StepSmallIdle", stepBench(sim.Small, routing.Base, 0.01, false, false)},
+		{"StepSmallFullScanIdle", stepBench(sim.Small, routing.Base, 0.01, true, false)},
+		// The PB/ECtN idle benchmarks track the event-driven algorithm
+		// layer; the RefScan variants pin the retained full-recompute
+		// reference (the original polled implementation) beside them.
+		{"StepSmallPBIdle", stepBench(sim.Small, routing.PB, 0.01, false, false)},
+		{"StepSmallPBRefScanIdle", stepBench(sim.Small, routing.PB, 0.01, false, true)},
+		{"StepSmallECtNIdle", stepBench(sim.Small, routing.ECtN, 0.01, false, false)},
+		{"StepSmallECtNRefScanIdle", stepBench(sim.Small, routing.ECtN, 0.01, false, true)},
+		{"StepPaperIdle", stepBench(sim.Paper, routing.Base, 0.01, false, false)},
+		{"StepPaperPBIdle", stepBench(sim.Paper, routing.PB, 0.01, false, false)},
+		{"StepPaperPBRefScanIdle", stepBench(sim.Paper, routing.PB, 0.01, false, true)},
+		{"StepPaperECtNIdle", stepBench(sim.Paper, routing.ECtN, 0.01, false, false)},
 		{"StepSmallBurstDrain", burstDrainBench(&burstCycles)},
 	}
 

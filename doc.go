@@ -41,8 +41,20 @@
 // event ring sized to the maximum link+pipeline horizon. Delivered
 // packets are recycled through a freelist and traffic generation
 // skip-samples the next injecting node geometrically, so a steady-state
-// cycle allocates no memory at all. The original every-component scan is
-// retained behind a debug flag and equivalence tests pin the two modes
-// to cycle-for-cycle identical results; `go run ./cmd/bench` tracks the
-// hot path's speed in BENCH_step.json.
+// cycle allocates no memory at all.
+//
+// The routing-algorithm layer is event-driven on the same principle.
+// Each output port's occupancy is a running counter updated at its three
+// mutation points (allocation grant, credit return, output-buffer free),
+// so the credit estimate congestion-based mechanisms read is O(1), and
+// occupancy-threshold watchers fire exactly when a registered threshold
+// is crossed: PB's saturation flags flip at the crossing instant instead
+// of a per-cycle all-port recompute, as a hardware credit comparator
+// would raise the piggybacked bit. ECtN's periodic group combine visits
+// only the groups whose partial counters changed since their last
+// exchange (a dirty-group set maintained by the counter mutations), so
+// an idle period costs O(1). The original full recomputes survive behind
+// debug flags (the fabric's FullScan, the policies' ReferenceScan) and
+// equivalence tests pin both modes to cycle-for-cycle identical results;
+// `go run ./cmd/bench` tracks the hot path's speed in BENCH_step.json.
 package cbar

@@ -27,7 +27,10 @@
 // claim that the counters sit beside, not inside, the critical path.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Counters is a bank of per-output-port contention counters (§III-B).
 // It is owned by a single router and is not safe for concurrent use, as
@@ -92,6 +95,56 @@ func (k *Counters) Snapshot() []int32 {
 // saturate at 15, enough to exceed the combined threshold of 10.
 const DefaultSatCap = 15
 
+// GroupDirty is a dirty-set over group indices: the periodic ECtN
+// combiner visits only the groups marked since its last drain, making
+// the exchange cost proportional to the groups with changed demand
+// rather than the topology's group count. Mark is O(1) (a flag check);
+// membership is deduplicated.
+type GroupDirty struct {
+	in    []bool
+	list  []int32
+	drain []int32 // Drain's double-buffer, so re-entrant Marks land in list
+}
+
+// NewGroupDirty returns an empty dirty-set over `groups` groups.
+func NewGroupDirty(groups int) *GroupDirty {
+	return &GroupDirty{
+		in:    make([]bool, groups),
+		list:  make([]int32, 0, groups),
+		drain: make([]int32, 0, groups),
+	}
+}
+
+// Mark adds group g to the set (no-op if already present).
+func (d *GroupDirty) Mark(g int32) {
+	if !d.in[g] {
+		d.in[g] = true
+		d.list = append(d.list, g)
+	}
+}
+
+// Marked reports whether group g is currently in the set.
+func (d *GroupDirty) Marked(g int32) bool { return d.in[g] }
+
+// Len returns the number of marked groups.
+func (d *GroupDirty) Len() int { return len(d.list) }
+
+// Drain visits every marked group in ascending order and empties the
+// set. A visit callback may Mark groups (including the one being
+// visited): the set is swapped out before visiting, so such marks land
+// in the next drain rather than being lost. The two retained buffers
+// make a steady-state drain allocation-free.
+func (d *GroupDirty) Drain(visit func(g int32)) {
+	slices.Sort(d.list)
+	d.list, d.drain = d.drain[:0], d.list
+	for _, g := range d.drain {
+		d.in[g] = false
+	}
+	for _, g := range d.drain {
+		visit(g)
+	}
+}
+
 // ECtN holds one router's Explicit Contention Notification state (§III-D):
 // a partial array updated locally and a combined array refreshed by the
 // periodic group-wide exchange. Indices are group-wide global-link
@@ -103,6 +156,19 @@ type ECtN struct {
 	// each router's contribution to a combined counter saturates at
 	// SatCap. Zero disables saturation (infinite-width counters).
 	SatCap int32
+
+	// dirty/group, when bound, make every partial mutation mark this
+	// router's group in the combiner's dirty-set, so untouched groups
+	// can skip their periodic combine.
+	dirty *GroupDirty
+	group int32
+}
+
+// BindDirty wires this router's partial mutations to a group dirty-set:
+// every IncPartial/DecPartial marks `group` in d.
+func (e *ECtN) BindDirty(d *GroupDirty, group int) {
+	e.dirty = d
+	e.group = int32(group)
 }
 
 // NewECtN returns zeroed ECtN state for a group with `links` global links
@@ -121,7 +187,12 @@ func (e *ECtN) Links() int { return len(e.partial) }
 
 // IncPartial registers a packet that entered this router wanting to leave
 // the group through global link l.
-func (e *ECtN) IncPartial(l int) { e.partial[l]++ }
+func (e *ECtN) IncPartial(l int) {
+	e.partial[l]++
+	if e.dirty != nil {
+		e.dirty.Mark(e.group)
+	}
+}
 
 // DecPartial unregisters such a packet once it left the input queue. It
 // panics on underflow, which is always a caller bookkeeping bug.
@@ -129,6 +200,9 @@ func (e *ECtN) DecPartial(l int) {
 	e.partial[l]--
 	if e.partial[l] < 0 {
 		panic(fmt.Sprintf("core: ECtN partial counter for link %d went negative", l))
+	}
+	if e.dirty != nil {
+		e.dirty.Mark(e.group)
 	}
 }
 
@@ -164,19 +238,61 @@ func CombineGroup(members []*ECtN) {
 	if len(members) == 0 {
 		return
 	}
+	CombineGroupInto(make([]int32, members[0].Links()), members)
+}
+
+// CombineGroupInto is CombineGroup with a caller-provided scratch slice
+// for the sum (len(scratch) must equal the members' link count), so a
+// periodic combiner can run allocation-free.
+func CombineGroupInto(scratch []int32, members []*ECtN) {
+	if len(members) == 0 {
+		return
+	}
 	links := members[0].Links()
-	sum := make([]int32, links)
+	if len(scratch) != links {
+		panic("core: CombineGroupInto scratch length mismatch")
+	}
+	for l := range scratch {
+		scratch[l] = 0
+	}
 	for _, m := range members {
 		if m.Links() != links {
 			panic("core: CombineGroup with mismatched link counts")
 		}
 		for l := 0; l < links; l++ {
-			sum[l] += m.contribution(l)
+			scratch[l] += m.contribution(l)
 		}
 	}
 	for _, m := range members {
-		copy(m.combined, sum)
+		copy(m.combined, scratch)
 	}
+}
+
+// VerifyGroupCombined audits a group's combined arrays: all members must
+// agree element-wise, and — when requireFresh is true — the stored
+// combined must equal a fresh recombination of the current partials. A
+// dirty-group combiner passes requireFresh for groups it considers clean
+// (no partial changed since the last combine implies the stored sums are
+// still exact); a mismatch there means a missed dirty mark.
+func VerifyGroupCombined(members []*ECtN, requireFresh bool) error {
+	if len(members) == 0 {
+		return nil
+	}
+	links := members[0].Links()
+	for l := 0; l < links; l++ {
+		ref := members[0].combined[l]
+		var sum int32
+		for i, m := range members {
+			if m.combined[l] != ref {
+				return fmt.Errorf("core: combined[%d] disagrees: member 0 has %d, member %d has %d", l, ref, i, m.combined[l])
+			}
+			sum += m.contribution(l)
+		}
+		if requireFresh && sum != ref {
+			return fmt.Errorf("core: combined[%d] = %d stale: fresh partial sum is %d", l, ref, sum)
+		}
+	}
+	return nil
 }
 
 // Reset zeroes both arrays.

@@ -222,6 +222,134 @@ func TestQuickCombineGroupConservation(t *testing.T) {
 	}
 }
 
+func TestGroupDirtyMarkDrain(t *testing.T) {
+	d := NewGroupDirty(5)
+	if d.Len() != 0 {
+		t.Fatalf("new set has %d members", d.Len())
+	}
+	d.Mark(3)
+	d.Mark(1)
+	d.Mark(3) // deduplicated
+	if d.Len() != 2 || !d.Marked(3) || !d.Marked(1) || d.Marked(0) {
+		t.Fatalf("membership wrong: len=%d", d.Len())
+	}
+	var got []int32
+	d.Drain(func(g int32) { got = append(got, g) })
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("drain order %v, want [1 3]", got)
+	}
+	if d.Len() != 0 || d.Marked(1) || d.Marked(3) {
+		t.Fatal("drain did not empty the set")
+	}
+	// The set is reusable after a drain.
+	d.Mark(4)
+	if d.Len() != 1 || !d.Marked(4) {
+		t.Fatal("set unusable after drain")
+	}
+}
+
+// TestGroupDirtyReentrantMark: a Mark from inside a Drain visit must
+// survive into the next drain, not be silently dropped.
+func TestGroupDirtyReentrantMark(t *testing.T) {
+	d := NewGroupDirty(4)
+	d.Mark(0)
+	d.Mark(2)
+	var first []int32
+	d.Drain(func(g int32) {
+		first = append(first, g)
+		if g == 0 {
+			d.Mark(2) // re-mark a group later in this same drain
+			d.Mark(3) // mark a fresh group
+		}
+	})
+	if len(first) != 2 || first[0] != 0 || first[1] != 2 {
+		t.Fatalf("first drain visited %v, want [0 2]", first)
+	}
+	if !d.Marked(2) || !d.Marked(3) || d.Len() != 2 {
+		t.Fatalf("re-entrant marks lost: len=%d", d.Len())
+	}
+	var second []int32
+	d.Drain(func(g int32) { second = append(second, g) })
+	if len(second) != 2 || second[0] != 2 || second[1] != 3 {
+		t.Fatalf("second drain visited %v, want [2 3]", second)
+	}
+}
+
+func TestECtNBindDirtyMarksOnMutation(t *testing.T) {
+	d := NewGroupDirty(3)
+	e := NewECtN(4)
+	e.BindDirty(d, 2)
+	e.IncPartial(1)
+	if !d.Marked(2) || d.Len() != 1 {
+		t.Fatal("IncPartial did not mark the bound group")
+	}
+	d.Drain(func(int32) {})
+	e.DecPartial(1)
+	if !d.Marked(2) {
+		t.Fatal("DecPartial did not mark the bound group")
+	}
+	// Unbound state mutates without touching any set.
+	NewECtN(2).IncPartial(0)
+}
+
+func TestCombineGroupIntoMatchesCombineGroup(t *testing.T) {
+	mk := func() []*ECtN {
+		a, b := NewECtN(3), NewECtN(3)
+		a.IncPartial(0)
+		a.IncPartial(2)
+		b.IncPartial(2)
+		return []*ECtN{a, b}
+	}
+	ref, got := mk(), mk()
+	CombineGroup(ref)
+	CombineGroupInto(make([]int32, 3), got)
+	for l := 0; l < 3; l++ {
+		if ref[0].Combined(l) != got[0].Combined(l) {
+			t.Fatalf("link %d: CombineGroup %d vs CombineGroupInto %d", l, ref[0].Combined(l), got[0].Combined(l))
+		}
+	}
+	// Dirty scratch must not leak into the sums.
+	scratch := []int32{77, 77, 77}
+	again := mk()
+	CombineGroupInto(scratch, again)
+	if again[0].Combined(1) != 0 {
+		t.Fatalf("stale scratch leaked: combined[1]=%d", again[0].Combined(1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scratch length mismatch did not panic")
+		}
+	}()
+	CombineGroupInto(make([]int32, 2), mk())
+}
+
+func TestVerifyGroupCombined(t *testing.T) {
+	a, b := NewECtN(2), NewECtN(2)
+	a.IncPartial(0)
+	CombineGroup([]*ECtN{a, b})
+	if err := VerifyGroupCombined([]*ECtN{a, b}, true); err != nil {
+		t.Fatalf("fresh combine flagged: %v", err)
+	}
+	// A partial mutation after the combine makes the stored sums stale:
+	// requireFresh must catch it, the agreement-only check must not.
+	b.IncPartial(0)
+	if err := VerifyGroupCombined([]*ECtN{a, b}, true); err == nil {
+		t.Fatal("stale combined not flagged with requireFresh")
+	}
+	if err := VerifyGroupCombined([]*ECtN{a, b}, false); err != nil {
+		t.Fatalf("agreement check flagged agreeing members: %v", err)
+	}
+	// Member disagreement is always an error.
+	a.IncPartial(1)
+	CombineGroup([]*ECtN{a})
+	if err := VerifyGroupCombined([]*ECtN{a, b}, false); err == nil {
+		t.Fatal("disagreeing members not flagged")
+	}
+	if err := VerifyGroupCombined(nil, true); err != nil {
+		t.Fatalf("empty group flagged: %v", err)
+	}
+}
+
 func BenchmarkCountersIncDec(b *testing.B) {
 	k := NewCounters(31)
 	for i := 0; i < b.N; i++ {

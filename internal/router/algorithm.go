@@ -44,6 +44,16 @@ type Algorithm interface {
 	OnDequeue(r *Router, p *Packet, port, vc int)
 }
 
+// StateChecker is an optional Algorithm extension for policies that
+// maintain their state incrementally (event-driven PB saturation flags,
+// dirty-group ECtN combines): CheckState cross-checks that state against
+// a fresh full recompute. Network.CheckInvariants calls it whenever the
+// algorithm implements it, so every invariant sweep in the test suite
+// also audits the event-driven bookkeeping.
+type StateChecker interface {
+	CheckState(n *Network) error
+}
+
 // NopHooks provides no-op implementations of every Algorithm method
 // except Name and Route, for embedding in concrete policies.
 type NopHooks struct{}

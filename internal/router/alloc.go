@@ -81,6 +81,7 @@ func (r *Router) grant(port, vc, out int) {
 
 	o.credits[outVC] -= size
 	o.outFree -= size
+	r.occDelta(out, 2*size) // both the credit and the out-buffer reservation count
 	p.Granted = true
 	r.in[port].unrouted--
 	r.unrouted--

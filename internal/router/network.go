@@ -438,8 +438,9 @@ func (n *Network) handle(ev *event) {
 		}
 
 	case evCredit:
-		o := &n.Routers[ev.router].out[ev.port]
-		o.credits[ev.vc] += ev.size
+		r := n.Routers[ev.router]
+		r.out[ev.port].credits[ev.vc] += ev.size
+		r.occDelta(int(ev.port), -ev.size)
 		// A head blocked on these credits keeps its router in the route
 		// set (unrouted > 0 prevents pruning), so this add is usually a
 		// flag-check no-op; it is kept as insurance against any future
@@ -454,8 +455,9 @@ func (n *Network) handle(ev *event) {
 		n.linkActive.add(ev.router)
 
 	case evOutFree:
-		o := &n.Routers[ev.router].out[ev.port]
-		o.outFree += ev.size
+		r := n.Routers[ev.router]
+		r.out[ev.port].outFree += ev.size
+		r.occDelta(int(ev.port), -ev.size)
 		n.routeActive.add(ev.router)
 
 	case evDeliver:
@@ -473,12 +475,32 @@ func (n *Network) handle(ev *event) {
 	}
 }
 
+// WatchOccupancy registers fn to fire whenever the occupancy of output
+// `port` of router `router` crosses `threshold`: fn(true) when the
+// occupancy rises strictly above it, fn(false) when it falls back to or
+// below it. The callback fires at the mutation instant (allocation
+// grant, credit return, output-buffer free), not at cycle boundaries, so
+// it must be cheap and must not mutate fabric state. No initial callback
+// is made; the caller derives the starting state from Occupancy (zero at
+// construction). This is the change-driven notification primitive the
+// event-driven algorithms (PB saturation flags) are built on.
+func (n *Network) WatchOccupancy(router, port int, threshold int32, fn func(above bool)) {
+	o := &n.Routers[router].out[port]
+	o.watchers = append(o.watchers, occWatcher{threshold: threshold, fn: fn})
+}
+
 // CheckInvariants validates credit/buffer accounting across the whole
-// network plus packet conservation. Tests call it liberally; it is not
+// network plus packet conservation, and cross-checks any incremental
+// algorithm state (StateChecker). Tests call it liberally; it is not
 // on the simulation fast path.
 func (n *Network) CheckInvariants() error {
 	for _, r := range n.Routers {
 		if err := r.checkInvariants(); err != nil {
+			return err
+		}
+	}
+	if sc, ok := n.Alg.(StateChecker); ok {
+		if err := sc.CheckState(n); err != nil {
 			return err
 		}
 	}

@@ -31,6 +31,14 @@ type outEntry struct {
 	vc  int8
 }
 
+// occWatcher is one registered occupancy-threshold trigger on an output
+// port: fn fires whenever the port's running occupancy crosses threshold
+// (in either direction).
+type occWatcher struct {
+	threshold int32
+	fn        func(above bool)
+}
+
 // outPort is one output port: credit counters for the downstream input
 // buffer, the output buffer and the link serialization state.
 type outPort struct {
@@ -43,6 +51,15 @@ type outPort struct {
 	creditCap []int32 // initial credit values, for invariant checks
 	outFree   int32
 	outCap    int32
+
+	// occ is the running occupancy estimate (staged output phits plus
+	// outstanding downstream credits), maintained incrementally at the
+	// three mutation points (grant, credit return, out-buffer free) so
+	// Occupancy is O(1) instead of a per-call credit-array sum. occCap
+	// is its precomputed maximum (the credit-cap sum is invariant).
+	occ      int32
+	occCap   int32
+	watchers []occWatcher
 
 	q          fifo[outEntry] // output buffer FIFO
 	linkFreeAt int64
@@ -177,6 +194,7 @@ func newRouter(id int, net *Network) *Router {
 		if kind == Injection { // ejection channel
 			op.credits = []int32{ejectionCredits}
 			op.creditCap = []int32{ejectionCredits}
+			op.occCap = op.outCap + ejectionCredits
 		} else {
 			peer, peerPort := topo.Neighbor(id, port)
 			op.peerRouter = int32(peer)
@@ -190,6 +208,7 @@ func newRouter(id int, net *Network) *Router {
 				op.credits[v] = dbuf
 				op.creditCap[v] = dbuf
 			}
+			op.occCap = op.outCap + int32(dn)*dbuf
 		}
 	}
 	return r
@@ -224,27 +243,33 @@ func (r *Router) OutFree(port int) int32 { return r.out[port].outFree }
 // staged output buffer content plus the downstream buffer space not
 // covered by credits (which includes phits and credits still in flight —
 // exactly the credit-count estimate, with its round-trip uncertainty,
-// that congestion-based mechanisms rely on, cf. §II-B).
-func (r *Router) Occupancy(port int) int32 {
-	o := &r.out[port]
-	occ := o.outCap - o.outFree
-	for v, c := range o.credits {
-		occ += o.creditCap[v] - c
-	}
-	return occ
-}
+// that congestion-based mechanisms rely on, cf. §II-B). The value is a
+// running counter maintained by occDelta at the mutation points, so the
+// call is O(1).
+func (r *Router) Occupancy(port int) int32 { return r.out[port].occ }
 
 // OccupancyCap returns the maximum value Occupancy can reach for `port`:
-// the output buffer plus all downstream credit capacity. Relative
-// (percentage) occupancy comparisons across port classes must normalize
-// by it, since local and global ports have very different buffer depths.
-func (r *Router) OccupancyCap(port int) int32 {
+// the output buffer plus all downstream credit capacity (precomputed at
+// construction). Relative (percentage) occupancy comparisons across port
+// classes must normalize by it, since local and global ports have very
+// different buffer depths.
+func (r *Router) OccupancyCap(port int) int32 { return r.out[port].occCap }
+
+// occDelta applies one mutation to the running occupancy of output `port`
+// and fires any threshold watcher whose threshold was crossed. It is
+// called from exactly the occupancy mutation points — grant (credits and
+// output space reserved), credit return, output-buffer free — which is
+// what keeps Occupancy O(1) and lets watchers replace per-cycle polls.
+func (r *Router) occDelta(port int, delta int32) {
 	o := &r.out[port]
-	cap := o.outCap
-	for _, c := range o.creditCap {
-		cap += c
+	old := o.occ
+	o.occ = old + delta
+	for i := range o.watchers {
+		w := &o.watchers[i]
+		if (old > w.threshold) != (o.occ > w.threshold) {
+			w.fn(o.occ > w.threshold)
+		}
 	}
-	return cap
 }
 
 // CanAccept reports whether output `port`, downstream VC vc, can accept a
@@ -321,6 +346,20 @@ func (r *Router) checkInvariants() error {
 			if c < 0 || c > o.creditCap[v] {
 				return fmt.Errorf("router %d out %d vc %d: credits %d of cap %d", r.ID, port, v, c, o.creditCap[v])
 			}
+		}
+		// The incremental occupancy must equal a fresh recompute from the
+		// buffer and credit state, and the precomputed cap must equal the
+		// credit-cap sum.
+		occ, occCap := o.outCap-o.outFree, o.outCap
+		for v, c := range o.credits {
+			occ += o.creditCap[v] - c
+			occCap += o.creditCap[v]
+		}
+		if occ != o.occ {
+			return fmt.Errorf("router %d out %d: incremental occupancy %d but recompute %d", r.ID, port, o.occ, occ)
+		}
+		if occCap != o.occCap {
+			return fmt.Errorf("router %d out %d: occupancy cap %d but recompute %d", r.ID, port, o.occCap, occCap)
 		}
 	}
 	var totQueued, totUnrouted int32

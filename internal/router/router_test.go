@@ -439,6 +439,102 @@ func TestOccupancyReflectsTraffic(t *testing.T) {
 	}
 }
 
+// TestOccupancyCapPrecomputed: the precomputed cap must equal the
+// output-buffer plus credit-capacity sum for every port class.
+func TestOccupancyCapPrecomputed(t *testing.T) {
+	n := buildSmall(t)
+	r := n.Routers[0]
+	for port := 0; port < r.NumPorts(); port++ {
+		want := r.OutFree(port) // full at construction: outFree == outCap
+		for vc := 0; vc < r.OutVCs(port); vc++ {
+			want += r.Credits(port, vc)
+		}
+		if got := r.OccupancyCap(port); got != want {
+			t.Fatalf("port %d (%v): OccupancyCap %d, want %d", port, r.Kind(port), got, want)
+		}
+	}
+}
+
+// TestOccupancyIncrementalUnderTraffic drives random traffic and lets
+// CheckInvariants compare the running occupancy counters against a fresh
+// recompute from buffers and credits at every checkpoint, through load,
+// drain and the in-flight credit tail.
+func TestOccupancyIncrementalUnderTraffic(t *testing.T) {
+	n := buildSmall(t)
+	rng := newTestRand(11)
+	for cycle := 0; cycle < 600; cycle++ {
+		for node := 0; node < n.Topo.Nodes; node++ {
+			if rng()%5 == 0 {
+				dst := int(rng() % uint64(n.Topo.Nodes))
+				if dst != node {
+					n.Inject(node, dst)
+				}
+			}
+		}
+		n.Step()
+		if cycle%50 == 0 {
+			if err := n.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", cycle, err)
+			}
+		}
+	}
+	if !n.Drain(20000) {
+		t.Fatal("did not drain")
+	}
+	n.Run(300) // let in-flight credits land
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchOccupancy: a threshold watcher must fire exactly on crossings
+// — rise above, fall back — and stay silent for mutations on the same
+// side of the threshold.
+func TestWatchOccupancy(t *testing.T) {
+	n := buildSmall(t)
+	r0 := n.Routers[0]
+	dstNode := n.Cfg.Topo.P * 1 // node behind router 1: first hop is r0's local port
+	out := n.Topo.MinimalNextPort(0, dstNode)
+
+	var events []bool
+	n.WatchOccupancy(0, out, 0, func(above bool) { events = append(events, above) })
+	var state bool
+	n.WatchOccupancy(0, out, 0, func(above bool) { state = above })
+
+	n.Inject(0, dstNode)
+	n.Run(40)
+	if len(events) == 0 || !events[0] {
+		t.Fatalf("no rising edge recorded: %v", events)
+	}
+	if !n.Drain(20000) {
+		t.Fatal("did not drain")
+	}
+	n.Run(300)
+	if r0.Occupancy(out) != 0 {
+		t.Fatalf("occupancy %d after drain", r0.Occupancy(out))
+	}
+	if state {
+		t.Fatal("watcher state still above after drain")
+	}
+	// Edges must strictly alternate: every firing is a genuine crossing.
+	for i := 1; i < len(events); i++ {
+		if events[i] == events[i-1] {
+			t.Fatalf("consecutive identical edges at %d: %v", i, events)
+		}
+	}
+	if events[len(events)-1] != false {
+		t.Fatal("last edge is not the falling one")
+	}
+	// A threshold above the traffic level must never fire.
+	var never []bool
+	n.WatchOccupancy(0, out, 1<<28, func(above bool) { never = append(never, above) })
+	n.Inject(0, dstNode)
+	n.Drain(20000)
+	if len(never) != 0 {
+		t.Fatalf("high-threshold watcher fired: %v", never)
+	}
+}
+
 // TestDeterminism: identical seeds must produce identical delivery
 // traces; different seeds should diverge via RNG-dependent decisions
 // (testMin has none, so only check equality).

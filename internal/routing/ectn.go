@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"fmt"
+
 	"cbar/internal/core"
 	"cbar/internal/router"
 )
@@ -19,11 +21,18 @@ import (
 // Every ECtNPeriod cycles the routers of a group exchange partial arrays
 // and sum them into the combined array (modeled as free and
 // instantaneous, as in the paper's simulations; §VI-B costs it
-// analytically). At injection, a packet whose minimal global link's
-// combined counter exceeds CombinedTh is misrouted through a random
-// global link of the current router whose combined counter is under the
-// threshold. All other decisions fall back to Base's local counters,
-// which keeps in-transit hop-by-hop adaptivity.
+// analytically). The periodic combine is change-driven: partial
+// mutations mark their group in a dirty-set (core.GroupDirty) and the
+// exchange visits only the marked groups — a group whose partials did
+// not change since its last combine would recompute the identical sums,
+// so skipping it is exact. The visit-every-group reference survives
+// behind Options.ReferenceScan, pinned by equivalence tests.
+//
+// At injection, a packet whose minimal global link's combined counter
+// exceeds CombinedTh is misrouted through a random global link of the
+// current router whose combined counter is under the threshold. All
+// other decisions fall back to Base's local counters, which keeps
+// in-transit hop-by-hop adaptivity.
 //
 // Because the combined information is refreshed only at the exchange
 // period, a traffic change becomes visible group-wide one period later —
@@ -34,10 +43,18 @@ type ectnAlg struct {
 	thCombined int32
 	period     int64
 	ectn       [][]*core.ECtN // per group, per member router
+	// dirty is the set of groups whose partial arrays changed since
+	// their last combine; scratch is the allocation-free sum buffer.
+	// Both are nil in the fullCombine reference mode.
+	dirty   *core.GroupDirty
+	scratch []int32
+	// fullCombine selects the reference combine-every-group exchange
+	// instead of the dirty-group set (Options.ReferenceScan).
+	fullCombine bool
 }
 
 func newECtN(o Options) *ectnAlg {
-	return &ectnAlg{thLocal: o.BaseTh, thCombined: o.CombinedTh, period: o.ECtNPeriod}
+	return &ectnAlg{thLocal: o.BaseTh, thCombined: o.CombinedTh, period: o.ECtNPeriod, fullCombine: o.ReferenceScan}
 }
 
 func (*ectnAlg) Name() string { return ECtN.String() }
@@ -45,25 +62,55 @@ func (*ectnAlg) Name() string { return ECtN.String() }
 func (a *ectnAlg) Attach(n *router.Network) {
 	t := n.Topo
 	a.ectn = make([][]*core.ECtN, t.Groups)
+	if !a.fullCombine {
+		a.dirty = core.NewGroupDirty(t.Groups)
+		a.scratch = make([]int32, t.GlobalLinks)
+	}
 	for g := 0; g < t.Groups; g++ {
 		members := n.Group(g)
 		states := make([]*core.ECtN, len(members))
 		for i, r := range members {
 			r.Ectn = core.NewECtN(t.GlobalLinks)
+			if a.dirty != nil {
+				r.Ectn.BindDirty(a.dirty, g)
+			}
 			states[i] = r.Ectn
 		}
 		a.ectn[g] = states
 	}
 }
 
-// BeginCycle runs the periodic group-wide combine.
+// BeginCycle runs the periodic group-wide combine: every group in the
+// reference mode, only the dirty groups otherwise. An idle period —
+// no partial changed anywhere — costs O(1).
 func (a *ectnAlg) BeginCycle(n *router.Network) {
 	if n.Now()%a.period != 0 {
 		return
 	}
-	for _, group := range a.ectn {
-		core.CombineGroup(group)
+	if a.fullCombine {
+		for _, group := range a.ectn {
+			core.CombineGroup(group)
+		}
+		return
 	}
+	a.dirty.Drain(func(g int32) {
+		core.CombineGroupInto(a.scratch, a.ectn[g])
+	})
+}
+
+// CheckState audits the dirty-group bookkeeping (router.StateChecker):
+// every group's members must agree on the combined array, and a group
+// the combiner would skip (not marked dirty) must still hold combined
+// sums equal to a fresh recombination of its current partials — a
+// mismatch there means a partial mutation missed its dirty mark.
+func (a *ectnAlg) CheckState(n *router.Network) error {
+	for g, group := range a.ectn {
+		requireFresh := a.dirty != nil && !a.dirty.Marked(int32(g))
+		if err := core.VerifyGroupCombined(group, requireFresh); err != nil {
+			return fmt.Errorf("routing: ECtN group %d: %w", g, err)
+		}
+	}
+	return nil
 }
 
 func (a *ectnAlg) OnArrive(r *router.Router, p *router.Packet, port, vc int) {

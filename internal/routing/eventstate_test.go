@@ -1,0 +1,117 @@
+package routing
+
+import (
+	"testing"
+
+	"cbar/internal/router"
+)
+
+// Tests for the event-driven algorithm state: PB saturation flags
+// maintained by occupancy watchers and ECtN combines driven by the
+// dirty-group set, each pinned to its retained full-recompute reference
+// (Options.ReferenceScan).
+
+// refOptions returns testOptions with the reference implementations
+// selected.
+func refOptions() Options {
+	o := testOptions()
+	o.ReferenceScan = true
+	return o
+}
+
+// deliveryTrace runs the given network under a deterministic
+// uniform-then-adversarial drive and returns the exact delivery trace
+// (packet id and cycle), checking invariants — which include the
+// StateChecker cross-audits — along the way.
+func deliveryTrace(t *testing.T, n *router.Network, seed uint64) []int64 {
+	t.Helper()
+	var trace []int64
+	n.OnDeliver = func(p *router.Packet, now int64) {
+		trace = append(trace, int64(p.ID)<<24|now)
+	}
+	rnd := &testRand{s: seed}
+	check := func(phase string) {
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+	}
+	driveUniform(n, rnd, 400, 10)
+	check("after uniform")
+	driveAdversarial(n, rnd, 600, 20, 1)
+	check("after adversarial")
+	if !n.Drain(60000) {
+		t.Fatal("did not drain")
+	}
+	check("after drain")
+	return trace
+}
+
+// comparePinned builds the same algorithm in reference and event-driven
+// modes and requires bit-identical delivery traces under an identical
+// traffic drive — the decision-for-decision equivalence contract.
+func comparePinned(t *testing.T, a Algo) {
+	t.Helper()
+	const netSeed, trafficSeed = 67, 71
+	ref := deliveryTrace(t, build(t, a, refOptions(), netSeed), trafficSeed)
+	evt := deliveryTrace(t, build(t, a, testOptions(), netSeed), trafficSeed)
+	if len(ref) == 0 {
+		t.Fatal("reference run delivered nothing")
+	}
+	if len(ref) != len(evt) {
+		t.Fatalf("trace lengths differ: reference %d vs event-driven %d", len(ref), len(evt))
+	}
+	for i := range ref {
+		if ref[i] != evt[i] {
+			t.Fatalf("delivery %d diverged: reference %x vs event-driven %x", i, ref[i], evt[i])
+		}
+	}
+}
+
+// TestPBEventDrivenEquivalence: watcher-maintained saturation flags must
+// reproduce the reference per-cycle recompute exactly. Combined with the
+// CheckState invariant (sat == occupancy > threshold at every audit),
+// this pins the flags flag-for-flag: occupancy only mutates at event
+// handling (before BeginCycle) and at grants (after all Route calls), so
+// a flag that always equals the fresh comparison equals the reference
+// start-of-cycle recompute at every routing decision.
+func TestPBEventDrivenEquivalence(t *testing.T) { comparePinned(t, PB) }
+
+// TestECtNDirtyGroupEquivalence: the dirty-group combine must reproduce
+// the combine-every-group reference exactly — a clean group's combine
+// recomputes identical sums, so skipping it cannot change any decision.
+func TestECtNDirtyGroupEquivalence(t *testing.T) { comparePinned(t, ECtN) }
+
+// TestPBCheckStateCatchesCorruption: the StateChecker audit must fail
+// when a saturation flag disagrees with the occupancy comparison, which
+// is what makes the equivalence tests trustworthy.
+func TestPBCheckStateCatchesCorruption(t *testing.T) {
+	n := build(t, PB, testOptions(), 13)
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatalf("clean network flagged: %v", err)
+	}
+	alg := n.Alg.(*pbAlg)
+	alg.sat[0][0] = true // no occupancy anywhere: flag must read false
+	if err := n.CheckInvariants(); err == nil {
+		t.Fatal("corrupted saturation flag not detected")
+	}
+	alg.sat[0][0] = false
+}
+
+// TestECtNCheckStateCatchesCorruption: a combined counter diverging from
+// its group (or a missed dirty mark) must trip the audit.
+func TestECtNCheckStateCatchesCorruption(t *testing.T) {
+	n := build(t, ECtN, testOptions(), 17)
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatalf("clean network flagged: %v", err)
+	}
+	// Mutate one router's partials behind the dirty-set's back by
+	// resetting it: the stored combined no longer matches a fresh
+	// recombination and the group is not marked dirty.
+	r := n.Group(0)[0]
+	r.Ectn.IncPartial(0)
+	alg := n.Alg.(*ectnAlg)
+	alg.dirty.Drain(func(int32) {}) // discard the legitimate mark
+	if err := n.CheckInvariants(); err == nil {
+		t.Fatal("stale clean-group combine not detected")
+	}
+}

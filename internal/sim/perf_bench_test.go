@@ -9,9 +9,9 @@ import (
 	"cbar/internal/traffic"
 )
 
-func mustStepBench(b *testing.B, s Scale, algo routing.Algo, load float64, fullScan bool) (*router.Network, *traffic.Injector) {
+func mustStepBench(b *testing.B, s Scale, algo routing.Algo, load float64, fullScan, refScan bool) (*router.Network, *traffic.Injector) {
 	b.Helper()
-	net, inj, err := NewStepBench(s, algo, load, fullScan)
+	net, inj, err := NewStepBench(s, algo, load, fullScan, refScan)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -22,8 +22,12 @@ func mustStepBench(b *testing.B, s Scale, algo routing.Algo, load float64, fullS
 // given scale and load, the simulator's fundamental unit of work, from
 // a warmed steady state (see NewStepBench).
 func benchStep(b *testing.B, s Scale, algo routing.Algo, load float64) {
+	benchStepMode(b, s, algo, load, false, false)
+}
+
+func benchStepMode(b *testing.B, s Scale, algo routing.Algo, load float64, fullScan, refScan bool) {
 	b.Helper()
-	net, inj := mustStepBench(b, s, algo, load, false)
+	net, inj := mustStepBench(b, s, algo, load, fullScan, refScan)
 	gen0 := net.NumGenerated
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -53,17 +57,31 @@ func BenchmarkStepPaperIdle(b *testing.B) { benchStep(b, Paper, routing.Base, 0.
 // every-component loop at the same operating point as StepSmallIdle, so
 // the active-set win is visible within one benchmark run.
 func BenchmarkStepSmallFullScanIdle(b *testing.B) {
-	net, inj := mustStepBench(b, Small, routing.Base, 0.01, true)
-	gen0 := net.NumGenerated
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		inj.Cycle()
-		net.Step()
-	}
-	if b.N > 1000 && net.NumGenerated == gen0 {
-		b.Fatal("no traffic generated during measurement")
-	}
+	benchStepMode(b, Small, routing.Base, 0.01, true, false)
 }
+
+// The PB and ECtN step benchmarks measure the event-driven algorithm
+// layer: with watcher-maintained saturation flags and dirty-group
+// combines, an idle PB/ECtN cycle must cost about the same as an idle
+// Base cycle — no residual O(network) BeginCycle term. The *RefScanIdle
+// variants pin the retained full-recompute reference (the seed
+// implementation) at the same operating point, so the win is visible
+// within one benchmark run.
+func BenchmarkStepSmallPB(b *testing.B)       { benchStep(b, Small, routing.PB, 0.3) }
+func BenchmarkStepSmallPBIdle(b *testing.B)   { benchStep(b, Small, routing.PB, 0.01) }
+func BenchmarkStepSmallECtNIdle(b *testing.B) { benchStep(b, Small, routing.ECtN, 0.01) }
+func BenchmarkStepSmallPBRefScanIdle(b *testing.B) {
+	benchStepMode(b, Small, routing.PB, 0.01, false, true)
+}
+func BenchmarkStepSmallECtNRefScanIdle(b *testing.B) {
+	benchStepMode(b, Small, routing.ECtN, 0.01, false, true)
+}
+
+// BenchmarkStepPaperPBIdle is the acceptance regime of the event-driven
+// algorithm layer: the full Table I system at 1% load under PB, which
+// previously paid a 16512-port saturation recompute every cycle.
+func BenchmarkStepPaperPBIdle(b *testing.B)   { benchStep(b, Paper, routing.PB, 0.01) }
+func BenchmarkStepPaperECtNIdle(b *testing.B) { benchStep(b, Paper, routing.ECtN, 0.01) }
 
 // BenchmarkStepSmallBurstDrain measures the burst-then-drain regime: a
 // synchronized burst enters the NIC queues, then the network is stepped

@@ -19,10 +19,13 @@ import (
 const StepBenchWarmup = 500
 
 // NewStepBench builds a network and injector at the given scale,
-// algorithm and uniform offered load, applies the step mode and warms
-// the network into steady state.
-func NewStepBench(s Scale, algo routing.Algo, load float64, fullScan bool) (*router.Network, *traffic.Injector, error) {
+// algorithm and uniform offered load, applies the step modes — fullScan
+// selects the every-component fabric loop, refScan the full-recompute
+// reference algorithm state (polled PB flags, combine-every-group ECtN)
+// — and warms the network into steady state.
+func NewStepBench(s Scale, algo routing.Algo, load float64, fullScan, refScan bool) (*router.Network, *traffic.Injector, error) {
 	c := NewConfig(s.Params(), algo)
+	c.Opts.ReferenceScan = refScan
 	net, err := BuildNetwork(c, 1)
 	if err != nil {
 		return nil, nil, err
