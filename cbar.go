@@ -303,7 +303,50 @@ func Mixed(uniformFrac float64, offset int) Traffic {
 	return Traffic{sim.MixUN(uniformFrac, offset)}
 }
 
-// Name returns the paper's name for the workload (UN, ADV+1, ...).
+// Hotspot aims frac of the traffic at `hot` hot nodes (spread evenly
+// over the node id space) and the rest uniformly — the classic
+// over-subscribed-endpoint workload of the congestion-management
+// literature.
+func Hotspot(frac float64, hot int) Traffic {
+	return Traffic{sim.HotspotUN(frac, hot)}
+}
+
+// ShiftPermutation is the fixed node permutation dest = (src+k) mod N:
+// every node has exactly one destination, with no statistical smoothing
+// across flows. k must not be a multiple of the node count.
+func ShiftPermutation(k int) Traffic { return Traffic{sim.ShiftPerm(k)} }
+
+// ComplementPermutation is the fixed permutation dest = N-1-src (the
+// arbitrary-size analogue of bit-complement): every node pairs with its
+// mirror at the far end of the id space.
+func ComplementPermutation() Traffic { return Traffic{sim.ComplementPerm()} }
+
+// Tornado is the group-tornado permutation: every node sends to the node
+// at its own in-group position, floor(Groups/2) groups away — ADV-like
+// pressure on one global link per group, but as a deterministic
+// permutation.
+func Tornado() Traffic { return Traffic{sim.TornadoPerm()} }
+
+// WithBurst returns the traffic with a bursty on-off (Markov-modulated)
+// arrival process instead of steady Bernoulli injection: geometrically
+// distributed ON phases with mean onMean cycles alternate with silent
+// OFF phases with mean offMean cycles. With peak == 0 the ON-phase rate
+// is the offered load divided by the duty cycle; with peak > 0 the
+// ON-phase load is fixed at peak phits/(node·cycle) and the OFF mean
+// adapts so the aggregate still matches the offered load.
+func (t Traffic) WithBurst(onMean, offMean, peak float64) Traffic {
+	return Traffic{t.inner.WithBurst(onMean, offMean, peak)}
+}
+
+// WithSkew returns the traffic with heterogeneous per-node loads: frac
+// of the nodes (evenly spread over the id space) generate share of the
+// aggregate traffic, the rest generating the remainder.
+func (t Traffic) WithSkew(frac, share float64) Traffic {
+	return Traffic{t.inner.WithSkew(frac, share)}
+}
+
+// Name returns the paper's name for the workload (UN, ADV+1, ...),
+// suffixed with the arrival process when not plain Bernoulli.
 func (t Traffic) Name() string { return t.inner.Name() }
 
 // ParseTraffic resolves a workload specification string:
@@ -311,33 +354,171 @@ func (t Traffic) Name() string { return t.inner.Name() }
 //	"un"                       uniform random
 //	"adv+3", "adv-1", "adv3"   adversarial with the given group offset
 //	"mix:0.4,1"                40% uniform, 60% ADV+1
+//	"hotspot:0.2,8"            20% of traffic at 8 hot nodes, rest uniform
+//	"perm:shift+K"             fixed shift permutation (src+K mod N)
+//	"perm:complement"          fixed complement permutation (N-1-src)
+//	"tornado"                  group-tornado permutation
+//	"burst:50,200"             uniform destinations, on-off bursty arrivals
+//	                           (mean ON 50 cycles, mean OFF 200)
+//	"burst:50,200,0.8"         as above with the ON-phase load fixed at
+//	                           0.8 phits/(node·cycle)
+//
+// Any base pattern may carry arrival-process suffixes:
+//
+//	"adv+1+burst:50,200"       bursty adversarial traffic
+//	"un+skew:0.1,0.5"          10% of the nodes generate 50% of the load
 func ParseTraffic(s string) (Traffic, error) {
 	ls := strings.ToLower(strings.TrimSpace(s))
+	// Split off "+burst:..." / "+skew:..." arrival-process suffixes.
+	base, mods, err := splitTrafficMods(ls)
+	if err != nil {
+		return Traffic{}, err
+	}
+	t, err := parseTrafficPattern(base, s)
+	if err != nil {
+		return Traffic{}, err
+	}
+	for _, m := range mods {
+		t, err = applyTrafficMod(t, m, s)
+		if err != nil {
+			return Traffic{}, err
+		}
+	}
+	return t, nil
+}
+
+// splitTrafficMods splits "base+burst:...+skew:..." into the base
+// pattern spec and its arrival-process modifiers. Only the known
+// modifier names split, so patterns like "adv+1" pass through intact.
+func splitTrafficMods(ls string) (base string, mods []string, err error) {
+	base = ls
+	for {
+		i := lastTrafficMod(base)
+		if i < 0 {
+			break
+		}
+		mods = append([]string{base[i+1:]}, mods...)
+		base = base[:i]
+	}
+	if base == "" {
+		return "", nil, fmt.Errorf("cbar: traffic spec %q has modifiers but no base pattern", ls)
+	}
+	return base, mods, nil
+}
+
+// lastTrafficMod returns the index of the '+' starting the rightmost
+// arrival-process modifier, or -1.
+func lastTrafficMod(s string) int {
+	best := -1
+	for _, name := range []string{"+burst:", "+skew:"} {
+		if i := strings.LastIndex(s, name); i > best {
+			best = i
+		}
+	}
+	return best
+}
+
+func parseTrafficPattern(ls, orig string) (Traffic, error) {
 	switch {
 	case ls == "un" || ls == "uniform":
 		return Uniform(), nil
+	case ls == "tornado":
+		return Tornado(), nil
+	case ls == "perm:complement" || ls == "perm:comp":
+		return ComplementPermutation(), nil
+	case strings.HasPrefix(ls, "perm:shift"):
+		rest := strings.TrimPrefix(ls, "perm:shift")
+		rest = strings.TrimPrefix(rest, "+")
+		k, err := strconv.Atoi(rest)
+		if err != nil {
+			return Traffic{}, fmt.Errorf("cbar: bad shift offset in %q: %v", orig, err)
+		}
+		return ShiftPermutation(k), nil
+	case strings.HasPrefix(ls, "hotspot:"):
+		frac, hot, err := parseFracInt(strings.TrimPrefix(ls, "hotspot:"))
+		if err != nil {
+			return Traffic{}, fmt.Errorf("cbar: hotspot traffic must be hotspot:FRAC,NODES, got %q: %v", orig, err)
+		}
+		return Hotspot(frac, hot), nil
+	case strings.HasPrefix(ls, "burst:"):
+		// A bare burst spec means uniform destinations with bursty
+		// arrivals.
+		return applyTrafficMod(Uniform(), ls, orig)
 	case strings.HasPrefix(ls, "adv"):
 		rest := strings.TrimPrefix(ls, "adv")
 		rest = strings.TrimPrefix(rest, "+")
 		off, err := strconv.Atoi(rest)
 		if err != nil {
-			return Traffic{}, fmt.Errorf("cbar: bad adversarial offset in %q: %v", s, err)
+			return Traffic{}, fmt.Errorf("cbar: bad adversarial offset in %q: %v", orig, err)
 		}
 		return Adversarial(off), nil
 	case strings.HasPrefix(ls, "mix:"):
-		parts := strings.Split(strings.TrimPrefix(ls, "mix:"), ",")
-		if len(parts) != 2 {
-			return Traffic{}, fmt.Errorf("cbar: mix traffic must be mix:FRAC,OFFSET, got %q", s)
-		}
-		frac, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		frac, off, err := parseFracInt(strings.TrimPrefix(ls, "mix:"))
 		if err != nil {
-			return Traffic{}, fmt.Errorf("cbar: bad mix fraction %q: %v", parts[0], err)
-		}
-		off, err := strconv.Atoi(strings.TrimSpace(parts[1]))
-		if err != nil {
-			return Traffic{}, fmt.Errorf("cbar: bad mix offset %q: %v", parts[1], err)
+			return Traffic{}, fmt.Errorf("cbar: mix traffic must be mix:FRAC,OFFSET, got %q: %v", orig, err)
 		}
 		return Mixed(frac, off), nil
 	}
-	return Traffic{}, fmt.Errorf("cbar: unknown traffic %q (un | adv+N | mix:F,N)", s)
+	return Traffic{}, fmt.Errorf("cbar: unknown traffic %q (un | adv+N | mix:F,N | hotspot:F,H | perm:shift+K | perm:complement | tornado | burst:ON,OFF[,PEAK] | +burst/+skew suffixes)", orig)
+}
+
+// applyTrafficMod applies one "burst:..." or "skew:..." modifier.
+func applyTrafficMod(t Traffic, mod, orig string) (Traffic, error) {
+	switch {
+	case strings.HasPrefix(mod, "burst:"):
+		parts := strings.Split(strings.TrimPrefix(mod, "burst:"), ",")
+		if len(parts) != 2 && len(parts) != 3 {
+			return Traffic{}, fmt.Errorf("cbar: burst must be burst:ON,OFF[,PEAK], got %q", orig)
+		}
+		var vals [3]float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return Traffic{}, fmt.Errorf("cbar: bad burst parameter %q: %v", p, err)
+			}
+			vals[i] = v
+		}
+		return t.WithBurst(vals[0], vals[1], vals[2]), nil
+	case strings.HasPrefix(mod, "skew:"):
+		frac, share, err := parseFracFrac(strings.TrimPrefix(mod, "skew:"))
+		if err != nil {
+			return Traffic{}, fmt.Errorf("cbar: skew must be skew:FRAC,SHARE, got %q: %v", orig, err)
+		}
+		return t.WithSkew(frac, share), nil
+	}
+	return Traffic{}, fmt.Errorf("cbar: unknown traffic modifier %q in %q", mod, orig)
+}
+
+// parseFracInt parses "FLOAT,INT".
+func parseFracInt(s string) (float64, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want two comma-separated values")
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return f, n, nil
+}
+
+// parseFracFrac parses "FLOAT,FLOAT".
+func parseFracFrac(s string) (float64, float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want two comma-separated values")
+	}
+	a, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
 }

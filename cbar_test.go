@@ -83,12 +83,23 @@ func TestTrafficNames(t *testing.T) {
 
 func TestParseTraffic(t *testing.T) {
 	cases := map[string]string{
-		"un":        "UN",
-		"UNIFORM":   "UN",
-		"adv+1":     "ADV+1",
-		"adv3":      "ADV+3",
-		"adv-2":     "ADV+-2",
-		"mix:0.4,1": "mix(40%UN,ADV+1)",
+		"un":                                     "UN",
+		"UNIFORM":                                "UN",
+		"adv+1":                                  "ADV+1",
+		"adv3":                                   "ADV+3",
+		"adv-2":                                  "ADV+-2",
+		"mix:0.4,1":                              "mix(40%UN,ADV+1)",
+		"hotspot:0.2,8":                          "hotspot(20%->8)",
+		"perm:shift+5":                           "shift+5",
+		"perm:shift-3":                           "shift+-3",
+		"perm:complement":                        "complement",
+		"perm:comp":                              "complement",
+		"tornado":                                "tornado",
+		"burst:50,200":                           "UN+burst(50,200)",
+		"burst:50,200,0.8":                       "UN+burst(50,200,0.8)",
+		"adv+1+burst:50,200":                     "ADV+1+burst(50,200)",
+		"un+skew:0.1,0.5":                        "UN+skew(10%:50%)",
+		"hotspot:0.2,8+burst:30,90+skew:0.1,0.5": "hotspot(20%->8)+burst(30,90)+skew(10%:50%)",
 	}
 	for in, want := range cases {
 		tr, err := ParseTraffic(in)
@@ -100,10 +111,49 @@ func TestParseTraffic(t *testing.T) {
 			t.Errorf("ParseTraffic(%q).Name() = %q, want %q", in, tr.Name(), want)
 		}
 	}
-	for _, bad := range []string{"", "advX", "mix:1", "mix:a,b", "hotspot"} {
+	for _, bad := range []string{
+		"", "advX", "mix:1", "mix:a,b", "hotspot",
+		"hotspot:0.2", "hotspot:x,8", "perm:shiftX", "perm:rotate",
+		"burst:50", "burst:a,b", "un+skew:0.1", "+burst:50,200",
+	} {
 		if _, err := ParseTraffic(bad); err == nil {
 			t.Errorf("ParseTraffic(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseTrafficRunsEndToEnd: every parseable spec must also run (the
+// parser and the pattern constructors agree on parameter ranges).
+func TestParseTrafficRunsEndToEnd(t *testing.T) {
+	t.Parallel()
+	c := NewConfig(Tiny, Base)
+	for _, spec := range []string{"hotspot:0.3,4", "tornado", "perm:shift+7", "burst:20,60", "un+skew:0.1,0.5"} {
+		tr, err := ParseTraffic(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunSteady(c, tr, 0.1, SteadyOptions{Warmup: 300, Measure: 300, Seeds: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if r.Delivered == 0 {
+			t.Fatalf("%s: nothing delivered", spec)
+		}
+	}
+}
+
+// TestOverflowFracReported: a sane low-load run reports a zero overflow
+// fraction (nothing near the histogram cap), and the field mirrors
+// through the public result.
+func TestOverflowFracReported(t *testing.T) {
+	t.Parallel()
+	c := NewConfig(Tiny, MIN)
+	r, err := RunSteady(c, Uniform(), 0.1, SteadyOptions{Warmup: 300, Measure: 300, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverflowFrac != 0 {
+		t.Fatalf("low-load OverflowFrac %v, want 0", r.OverflowFrac)
 	}
 }
 

@@ -64,8 +64,15 @@ type Report struct {
 // full-recompute reference algorithm state (polled PB saturation flags,
 // combine-every-group ECtN).
 func stepBench(s sim.Scale, algo routing.Algo, load float64, fullScan, refScan bool) func(b *testing.B) {
+	return stepBenchWorkload(s, algo, sim.UN(), load, fullScan, refScan)
+}
+
+// stepBenchWorkload is stepBench for an arbitrary workload — the bursty
+// and hotspot entries pin the stateful calendar injector's cycle cost
+// beside the Bernoulli fast path.
+func stepBenchWorkload(s sim.Scale, algo routing.Algo, w sim.Workload, load float64, fullScan, refScan bool) func(b *testing.B) {
 	return func(b *testing.B) {
-		net, inj, err := sim.NewStepBench(s, algo, load, fullScan, refScan)
+		net, inj, err := sim.NewStepBenchWorkload(s, algo, w, load, fullScan, refScan)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +169,14 @@ func main() {
 		{"StepSmallPBRefScanIdle", stepBench(sim.Small, routing.PB, 0.01, false, true)},
 		{"StepSmallECtNIdle", stepBench(sim.Small, routing.ECtN, 0.01, false, false)},
 		{"StepSmallECtNRefScanIdle", stepBench(sim.Small, routing.ECtN, 0.01, false, true)},
+		// The bursty/hotspot idle entries track the stateful calendar
+		// injector beside the Bernoulli skip-sampler: same scale, same
+		// load, different arrival process — the delta is the cost of
+		// per-node source state.
+		{"StepSmallBurstyIdle", stepBenchWorkload(sim.Small, routing.Base, sim.UN().WithBurst(50, 150, 0), 0.01, false, false)},
+		{"StepSmallHotspotIdle", stepBenchWorkload(sim.Small, routing.Base, sim.HotspotUN(0.2, 8), 0.01, false, false)},
 		{"StepPaperIdle", stepBench(sim.Paper, routing.Base, 0.01, false, false)},
+		{"StepPaperBurstyIdle", stepBenchWorkload(sim.Paper, routing.Base, sim.UN().WithBurst(50, 150, 0), 0.01, false, false)},
 		{"StepPaperPBIdle", stepBench(sim.Paper, routing.PB, 0.01, false, false)},
 		{"StepPaperPBRefScanIdle", stepBench(sim.Paper, routing.PB, 0.01, false, true)},
 		{"StepPaperECtNIdle", stepBench(sim.Paper, routing.ECtN, 0.01, false, false)},

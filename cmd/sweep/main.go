@@ -6,6 +6,16 @@
 //
 //	sweep -routing min,base,olm -traffic adv+1
 //	sweep -scale small -routing all -traffic un -loads 0.1,0.3,0.5,0.7,0.9
+//	sweep -traffic hotspot:0.2,8
+//	sweep -traffic tornado -routing base,olm
+//	sweep -traffic perm:shift+16
+//	sweep -traffic burst:50,200          (uniform destinations, bursty arrivals)
+//	sweep -traffic adv+1+burst:50,200,0.8+skew:0.1,0.5
+//
+// The whole load×seed grid runs through one bounded worker pool; every
+// row reports the cross-seed merged-histogram percentiles plus the
+// fraction of latencies beyond the histogram cap (overflow_frac > 0
+// means the reported percentiles are saturated).
 package main
 
 import (
@@ -22,7 +32,7 @@ func main() {
 	var (
 		scaleName = flag.String("scale", "tiny", "network scale: tiny|small|paper")
 		algoList  = flag.String("routing", "all", "comma-separated mechanisms, or 'all'")
-		trafName  = flag.String("traffic", "un", "traffic: un | adv+N | mix:F,N")
+		trafName  = flag.String("traffic", "un", "traffic: un | adv+N | mix:F,N | hotspot:F,H | perm:shift+K | perm:complement | tornado | burst:ON,OFF[,PEAK]; +burst:/+skew: suffixes compose")
 		loadsCSV  = flag.String("loads", "0.05,0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "offered loads")
 		warmup    = flag.Int64("warmup", 0, "warmup cycles (0 = scale default)")
 		measure   = flag.Int64("measure", 0, "measurement cycles (0 = scale default)")
@@ -55,15 +65,15 @@ func main() {
 	}
 
 	fmt.Printf("# %s traffic on %s scale\n", traf.Name(), scale)
-	fmt.Println("load,algo,avg_latency_cycles,p99_latency_cycles,accepted_phits_node_cycle,misrouted_global_frac")
+	fmt.Println("load,algo,avg_latency_cycles,p99_latency_cycles,accepted_phits_node_cycle,misrouted_global_frac,overflow_frac")
 	opt := cbar.SteadyOptions{Warmup: *warmup, Measure: *measure, Seeds: *seeds}
 	for _, a := range algos {
 		cfg := cbar.NewConfig(scale, a)
 		rs, err := cbar.Sweep(cfg, traf, loads, opt)
 		die(err)
 		for _, r := range rs {
-			fmt.Printf("%.3f,%s,%.2f,%d,%.4f,%.4f\n",
-				r.Load, r.Algo, r.AvgLatency, r.P99, r.Accepted, r.MisroutedGlobal)
+			fmt.Printf("%.3f,%s,%.2f,%d,%.4f,%.4f,%.4f\n",
+				r.Load, r.Algo, r.AvgLatency, r.P99, r.Accepted, r.MisroutedGlobal, r.OverflowFrac)
 		}
 	}
 }

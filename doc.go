@@ -28,7 +28,57 @@
 // figures by ID; see EXPERIMENTS.md for paper-versus-measured results.
 //
 // All simulations are deterministic for a fixed configuration and seed;
-// repeated seeds run on all available cores.
+// repeated seeds run on all available cores. A sweep flattens its whole
+// load×seed grid through one bounded worker pool, and multi-seed
+// percentiles come from merged latency histograms (exact cross-seed
+// order statistics, with SteadyResult.OverflowFrac flagging saturated
+// tails).
+//
+// # Workload catalog
+//
+// A Traffic value combines a destination pattern with an arrival
+// process. The paper's §IV-B patterns:
+//
+//   - Uniform (UN): every packet targets a uniformly random other node.
+//   - Adversarial(i) (ADV+i): every node targets a random node in the
+//     group i positions away, saturating one global link per group.
+//   - Mixed(f, i): per-packet blend of UN and ADV+i (Figure 6).
+//
+// The workload-engine patterns, modeling the regimes the congestion
+// management literature evaluates adaptive routing under (hotspot and
+// bursty congestion in Rocher-Gonzalez et al.; permutation/tornado
+// workloads in Versaci's OutFlank routing):
+//
+//   - Hotspot(f, h): fraction f of all traffic aims at h hot nodes
+//     spread evenly over the id space, the rest uniform — persistent
+//     endpoint contention (storage targets, parameter servers).
+//   - ShiftPermutation(k): fixed bijection dest = (src+k) mod N; single
+//     persistent flows with no statistical smoothing.
+//   - ComplementPermutation: fixed bijection dest = N-1-src, the
+//     arbitrary-size analogue of bit-complement.
+//   - Tornado: every node targets its own in-group position
+//     floor(Groups/2) groups away — ADV-like global-link pressure as a
+//     deterministic permutation.
+//
+// Arrival-process modifiers compose onto any pattern:
+//
+//   - WithBurst(on, off, peak): two-state Markov-modulated (on-off)
+//     sources; geometric ON phases (mean `on` cycles) injecting at the
+//     peak rate alternate with silent OFF phases (mean `off`). peak > 0
+//     pins the ON-phase load and adapts the duty cycle; peak == 0 keeps
+//     the duty cycle and derives the ON rate from the aggregate load.
+//   - WithSkew(frac, share): heterogeneous per-node loads; frac of the
+//     nodes carry share of the aggregate traffic.
+//
+// ParseTraffic accepts the same catalog as strings ("hotspot:0.2,8",
+// "perm:shift+16", "tornado", "burst:50,200", "adv+1+burst:50,200,0.8",
+// "un+skew:0.1,0.5"), which cmd/sweep exposes via -traffic.
+//
+// Stateful sources keep their next injection time on a calendar (a
+// min-heap over nodes), so the per-cycle injection cost stays
+// proportional to packets generated, not node count — the homogeneous
+// Bernoulli case bypasses the calendar entirely on the original
+// skip-sampling fast path, bit-identically.
 //
 // # Performance architecture
 //

@@ -148,12 +148,12 @@ func newRouter(id int, net *Network) *Router {
 	topo := net.Topo
 	radix := topo.Radix()
 	r := &Router{
-		ID:         id,
-		net:        net,
-		in:         make([]inPort, radix),
-		out:        make([]outPort, radix),
-		Contention: core.NewCounters(radix),
-		RNG:        rng.New(net.seed, uint64(id)+1),
+		ID:          id,
+		net:         net,
+		in:          make([]inPort, radix),
+		out:         make([]outPort, radix),
+		Contention:  core.NewCounters(radix),
+		RNG:         rng.New(net.seed, uint64(id)+1),
 		rrVC:        make([]int, radix),
 		s1:          make([]int8, radix),
 		candIn:      make([][]int16, radix),

@@ -3,11 +3,10 @@ package sim
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
 
 	"cbar/internal/routing"
+	"cbar/internal/stats"
 )
 
 // Budget sizes an experiment run: simulation windows, repeats and the
@@ -141,60 +140,38 @@ func sweepSteady(s Scale, algos []routing.Algo, w Workload, loads []float64, b B
 	for _, a := range algos {
 		for _, l := range loads {
 			for sd := 0; sd < b.Seeds; sd++ {
-				jobs = append(jobs, job{sweepKey{a, l}, uint64(sd)*0x1000003 + 1})
+				jobs = append(jobs, job{sweepKey{a, l}, seedFor(sd)})
 			}
 		}
 	}
 	perJob := make([]SteadyResult, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workerCount())
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := NewConfig(s.Params(), j.key.algo)
-			if mutate != nil {
-				mutate(&cfg)
-			}
-			perJob[i], errs[i] = steadySeed(cfg, w, j.key.load, b.Warmup, b.Measure, j.seed)
-		}(i, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	perHist := make([]*stats.Histogram, len(jobs))
+	err := forEachTask(len(jobs), func(i int) error {
+		cfg := NewConfig(s.Params(), jobs[i].key.algo)
+		if mutate != nil {
+			mutate(&cfg)
 		}
+		var err error
+		perJob[i], perHist[i], err = steadySeed(cfg, w, jobs[i].key.load, b.Warmup, b.Measure, jobs[i].seed)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	grouped := map[sweepKey][]SteadyResult{}
+	grouped := map[sweepKey][]int{}
 	for i, j := range jobs {
-		grouped[j.key] = append(grouped[j.key], perJob[i])
+		grouped[j.key] = append(grouped[j.key], i)
 	}
 	out := make(map[sweepKey]SteadyResult, len(grouped))
-	for k, rs := range grouped {
-		out[k] = averageSteady(rs)
+	for k, idx := range grouped {
+		rs := make([]SteadyResult, len(idx))
+		hs := make([]*stats.Histogram, len(idx))
+		for i, j := range idx {
+			rs[i], hs[i] = perJob[j], perHist[j]
+		}
+		out[k] = reduceSteady(rs, hs)
 	}
 	return out, nil
-}
-
-func workerCount() int {
-	// Networks are memory-hungry at Paper scale; the pool is still
-	// CPU-bound, so GOMAXPROCS workers.
-	return maxInt(1, gomaxprocs())
-}
-
-// indirection for tests.
-var gomaxprocs = defaultGomaxprocs
-
-func defaultGomaxprocs() int { return runtime.GOMAXPROCS(0) }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // writeSteadyTable prints a Figure 5-style CSV: one row per (load, algo).

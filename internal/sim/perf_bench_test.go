@@ -83,6 +83,41 @@ func BenchmarkStepSmallECtNRefScanIdle(b *testing.B) {
 func BenchmarkStepPaperPBIdle(b *testing.B)   { benchStep(b, Paper, routing.PB, 0.01) }
 func BenchmarkStepPaperECtNIdle(b *testing.B) { benchStep(b, Paper, routing.ECtN, 0.01) }
 
+// The bursty/hotspot idle benchmarks pin the stateful calendar
+// injector's per-cycle cost beside the Bernoulli skip-sampler at the
+// same operating points: the calendar only touches nodes that inject
+// this cycle, so an idle bursty cycle must cost about the same as an
+// idle Bernoulli cycle — no O(nodes) per-cycle term, at Paper scale in
+// particular (16512 mostly-silent sources).
+func benchStepWorkload(b *testing.B, s Scale, algo routing.Algo, w Workload, load float64) {
+	b.Helper()
+	net, inj, err := NewStepBenchWorkload(s, algo, w, load, false, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen0 := net.NumGenerated
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Cycle()
+		net.Step()
+	}
+	if b.N > 1000 && net.NumGenerated == gen0 {
+		b.Fatal("no traffic generated during measurement")
+	}
+}
+
+func BenchmarkStepSmallBurstyIdle(b *testing.B) {
+	benchStepWorkload(b, Small, routing.Base, UN().WithBurst(50, 150, 0), 0.01)
+}
+
+func BenchmarkStepSmallHotspotIdle(b *testing.B) {
+	benchStepWorkload(b, Small, routing.Base, HotspotUN(0.2, 8), 0.01)
+}
+
+func BenchmarkStepPaperBurstyIdle(b *testing.B) {
+	benchStepWorkload(b, Paper, routing.Base, UN().WithBurst(50, 150, 0), 0.01)
+}
+
 // BenchmarkStepSmallBurstDrain measures the burst-then-drain regime: a
 // synchronized burst enters the NIC queues, then the network is stepped
 // until it fully drains. Most of those cycles have only a dwindling tail

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -55,7 +56,9 @@ func BuildNetwork(c Config, seed uint64) (*router.Network, error) {
 	return router.Build(c.Router, alg, seed)
 }
 
-// WorkloadKind enumerates the synthetic traffic families of §IV-B.
+// WorkloadKind enumerates the synthetic destination-pattern families:
+// the paper's §IV-B set (UN, ADV, mix) plus the workload-engine families
+// (hotspot, fixed permutations, group-tornado).
 type WorkloadKind int
 
 // Workload kinds.
@@ -63,16 +66,67 @@ const (
 	Uniform WorkloadKind = iota
 	Adversarial
 	Mix
+	Hotspot
+	Shift
+	Complement
+	Tornado
 )
 
-// Workload is a declarative traffic specification, resolved against a
-// topology at run time.
+// SourceSpec declares the arrival process of every node,
+// topology-independently. The zero value is the paper's homogeneous
+// Bernoulli process, which runs on the skip-sampling fast path.
+type SourceSpec struct {
+	// Bursty selects the two-state on-off (Markov-modulated) process.
+	Bursty bool
+	// OnMean/OffMean are mean ON/OFF phase lengths in cycles (Bursty).
+	OnMean, OffMean float64
+	// PeakLoad, when nonzero, fixes the ON-phase offered load in
+	// phits/(node·cycle) and lets the duty cycle adapt to the aggregate.
+	PeakLoad float64
+	// SkewFrac/SkewShare describe heterogeneous per-node loads:
+	// SkewFrac of the nodes (evenly spread over the id space) generate
+	// SkewShare of the aggregate traffic. Zero values are homogeneous.
+	SkewFrac, SkewShare float64
+}
+
+// homogeneous reports whether the spec is the plain Bernoulli process
+// the fast path covers.
+func (s SourceSpec) homogeneous() bool {
+	return !s.Bursty && s.SkewFrac == 0
+}
+
+// Name returns a suffix describing the arrival process ("" when
+// homogeneous Bernoulli).
+func (s SourceSpec) Name() string {
+	var n string
+	if s.Bursty {
+		if s.PeakLoad > 0 {
+			n = fmt.Sprintf("+burst(%g,%g,%g)", s.OnMean, s.OffMean, s.PeakLoad)
+		} else {
+			n = fmt.Sprintf("+burst(%g,%g)", s.OnMean, s.OffMean)
+		}
+	}
+	if s.SkewFrac != 0 {
+		n += fmt.Sprintf("+skew(%.0f%%:%.0f%%)", s.SkewFrac*100, s.SkewShare*100)
+	}
+	return n
+}
+
+// Workload is a declarative traffic specification — destination pattern
+// plus arrival process — resolved against a topology at run time.
 type Workload struct {
 	Kind WorkloadKind
-	// Offset is the ADV group offset (Adversarial and Mix kinds).
+	// Offset is the ADV group offset (Adversarial and Mix kinds) or the
+	// node offset of the Shift permutation.
 	Offset int
 	// UniformFrac is the fraction of uniform traffic in a Mix.
 	UniformFrac float64
+	// HotFrac is the fraction of traffic aimed at the hot set, and
+	// HotNodes its size (Hotspot kind).
+	HotFrac  float64
+	HotNodes int
+	// Source selects the arrival process (zero: homogeneous Bernoulli).
+	Source SourceSpec
 }
 
 // UN is the uniform random workload.
@@ -87,33 +141,141 @@ func MixUN(uniformFrac float64, offset int) Workload {
 	return Workload{Kind: Mix, Offset: offset, UniformFrac: uniformFrac}
 }
 
-// Name returns the paper's name for the workload.
-func (w Workload) Name() string {
-	switch w.Kind {
-	case Uniform:
-		return "UN"
-	case Adversarial:
-		return fmt.Sprintf("ADV+%d", w.Offset)
-	default:
-		return fmt.Sprintf("mix(%.0f%%UN,ADV+%d)", w.UniformFrac*100, w.Offset)
-	}
+// HotspotUN aims frac of the traffic at `hot` evenly-spread hot nodes,
+// the rest uniformly.
+func HotspotUN(frac float64, hot int) Workload {
+	return Workload{Kind: Hotspot, HotFrac: frac, HotNodes: hot}
 }
 
-// Pattern resolves the workload against a topology.
+// ShiftPerm is the fixed node-shift permutation dest = src + offset.
+func ShiftPerm(offset int) Workload { return Workload{Kind: Shift, Offset: offset} }
+
+// ComplementPerm is the fixed complement permutation dest = N-1-src.
+func ComplementPerm() Workload { return Workload{Kind: Complement} }
+
+// TornadoPerm is the group-tornado permutation (maximal group offset).
+func TornadoPerm() Workload { return Workload{Kind: Tornado} }
+
+// WithBurst returns the workload with an on-off bursty arrival process:
+// mean ON/OFF phase lengths in cycles, and optionally (peak > 0) a fixed
+// ON-phase load in phits/(node·cycle).
+func (w Workload) WithBurst(onMean, offMean, peak float64) Workload {
+	w.Source.Bursty = true
+	w.Source.OnMean, w.Source.OffMean, w.Source.PeakLoad = onMean, offMean, peak
+	return w
+}
+
+// WithSkew returns the workload with heterogeneous per-node loads: frac
+// of the nodes carry share of the aggregate traffic.
+func (w Workload) WithSkew(frac, share float64) Workload {
+	w.Source.SkewFrac, w.Source.SkewShare = frac, share
+	return w
+}
+
+// Name returns the paper's name for the workload (with an arrival
+// process suffix when not homogeneous Bernoulli).
+func (w Workload) Name() string {
+	var n string
+	switch w.Kind {
+	case Uniform:
+		n = "UN"
+	case Adversarial:
+		n = fmt.Sprintf("ADV+%d", w.Offset)
+	case Mix:
+		n = fmt.Sprintf("mix(%.0f%%UN,ADV+%d)", w.UniformFrac*100, w.Offset)
+	case Hotspot:
+		n = fmt.Sprintf("hotspot(%.0f%%->%d)", w.HotFrac*100, w.HotNodes)
+	case Shift:
+		n = fmt.Sprintf("shift+%d", w.Offset)
+	case Complement:
+		n = "complement"
+	case Tornado:
+		n = "tornado"
+	default:
+		n = fmt.Sprintf("workload(%d)", int(w.Kind))
+	}
+	return n + w.Source.Name()
+}
+
+// Pattern resolves the workload's destination pattern against a
+// topology.
 func (w Workload) Pattern(t *topology.Dragonfly) (traffic.Pattern, error) {
 	switch w.Kind {
 	case Uniform:
-		return traffic.NewUniform(t), nil
+		return traffic.NewUniform(t)
 	case Adversarial:
 		return traffic.NewAdversarial(t, w.Offset)
 	case Mix:
+		un, err := traffic.NewUniform(t)
+		if err != nil {
+			return nil, err
+		}
 		adv, err := traffic.NewAdversarial(t, w.Offset)
 		if err != nil {
 			return nil, err
 		}
-		return traffic.NewMix(traffic.NewUniform(t), adv, w.UniformFrac)
+		return traffic.NewMix(un, adv, w.UniformFrac)
+	case Hotspot:
+		return traffic.NewHotspot(t, w.HotFrac, w.HotNodes)
+	case Shift:
+		return traffic.NewShift(t, w.Offset)
+	case Complement:
+		return traffic.NewComplement(t)
+	case Tornado:
+		return traffic.NewTornado(t)
 	}
 	return nil, fmt.Errorf("sim: unknown workload kind %d", w.Kind)
+}
+
+// skewWeights materializes a skew spec as per-node rate weights: the
+// chosen nodes (evenly spread over the id space, like hotspot's hot set)
+// share `share` of the aggregate load.
+func skewWeights(frac, share float64, nodes int) ([]float64, error) {
+	if frac <= 0 || frac >= 1 || share < 0 || share > 1 {
+		return nil, fmt.Errorf("sim: skew frac %v must be in (0,1) and share %v in [0,1]", frac, share)
+	}
+	hot := int(math.Round(frac * float64(nodes)))
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= nodes {
+		hot = nodes - 1
+	}
+	w := make([]float64, nodes)
+	wHot := share * float64(nodes) / float64(hot)
+	wCold := (1 - share) * float64(nodes) / float64(nodes-hot)
+	for i := range w {
+		w[i] = wCold
+	}
+	for i := 0; i < hot; i++ {
+		w[i*nodes/hot] = wHot
+	}
+	return w, nil
+}
+
+// injector builds the right injector for the workload: the bit-identical
+// homogeneous fast path when the source spec is zero, the stateful
+// calendar path otherwise.
+func (w Workload) injector(net *router.Network, sched *traffic.Schedule, load float64, seed uint64) (*traffic.Injector, error) {
+	if w.Source.homogeneous() {
+		return traffic.NewInjector(net, sched, load, seed)
+	}
+	spec := traffic.SourceSpec{
+		OnMean:   w.Source.OnMean,
+		OffMean:  w.Source.OffMean,
+		PeakLoad: w.Source.PeakLoad,
+	}
+	if w.Source.Bursty {
+		spec.Kind = traffic.OnOffArrivals
+	}
+	if w.Source.SkewFrac != 0 {
+		weights, err := skewWeights(w.Source.SkewFrac, w.Source.SkewShare, net.Topo.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		spec.Weights = weights
+	}
+	return traffic.NewSourceInjector(net, sched, load, seed, spec)
 }
 
 // SteadyResult aggregates a steady-state measurement across seeds.
@@ -139,6 +301,11 @@ type SteadyResult struct {
 	// and global links over the measurement window.
 	UtilLocal  float64
 	UtilGlobal float64
+	// OverflowFrac is the fraction of measured latencies at or above the
+	// histogram cap: nonzero means P50/P99 may be saturated at the cap
+	// and the true tail is worse than reported (typical past the
+	// saturation load).
+	OverflowFrac float64
 	// Delivered packets counted across all seeds' windows.
 	Delivered uint64
 	Seeds     int
@@ -148,22 +315,25 @@ type SteadyResult struct {
 // count toward the mean but saturate percentile reporting.
 const latencyHistCap = 1 << 15
 
-// steadySeed runs one seed's steady-state experiment.
-func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed uint64) (SteadyResult, error) {
+// steadySeed runs one seed's steady-state experiment. Latency summary
+// fields (AvgLatency, P50, P99, OverflowFrac) are left zero: they are
+// computed by reduceSteady from the returned histogram, so multi-seed
+// reductions can merge histograms and take exact cross-seed percentiles
+// instead of averaging per-seed ones.
+func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed uint64) (SteadyResult, *stats.Histogram, error) {
 	net, err := BuildNetwork(c, seed)
 	if err != nil {
-		return SteadyResult{}, err
+		return SteadyResult{}, nil, err
 	}
 	pat, err := w.Pattern(net.Topo)
 	if err != nil {
-		return SteadyResult{}, err
+		return SteadyResult{}, nil, err
 	}
-	inj, err := traffic.NewInjector(net, traffic.Constant(pat), load, seed^0x9E3779B97F4A7C15)
+	inj, err := w.injector(net, traffic.Constant(pat), load, seed^0x9E3779B97F4A7C15)
 	if err != nil {
-		return SteadyResult{}, err
+		return SteadyResult{}, nil, err
 	}
 	var (
-		lat     stats.Welford
 		hist    = stats.NewHistogram(latencyHistCap)
 		hops    stats.Welford
 		phits   uint64
@@ -176,9 +346,7 @@ func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed 
 		if now < measStart {
 			return
 		}
-		l := now - p.GenTime
-		lat.Add(float64(l))
-		hist.Add(l)
+		hist.Add(now - p.GenTime)
 		hops.Add(float64(p.TotalHops))
 		phits += uint64(p.Size)
 		if p.GlobalMisroute {
@@ -203,9 +371,6 @@ func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed 
 		Algo:       c.Algo.String(),
 		Workload:   w.Name(),
 		Load:       load,
-		AvgLatency: lat.Mean(),
-		P50:        hist.Percentile(0.50),
-		P99:        hist.Percentile(0.99),
 		Accepted:   float64(phits) / (float64(measure) * float64(net.Topo.Nodes)),
 		Delivered:  counted,
 		AvgHops:    hops.Mean(),
@@ -217,64 +382,90 @@ func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed 
 		res.MisroutedGlobal = float64(misG) / float64(counted)
 		res.MisroutedLocal = float64(misL) / float64(counted)
 	}
-	return res, nil
+	return res, hist, nil
 }
+
+// seedFor returns the run seed of repeat i, shared by every steady
+// entry point so single runs and sweeps measure identical systems.
+func seedFor(i int) uint64 { return uint64(i)*0x1000003 + 1 }
 
 // RunSteady measures steady-state latency and throughput at one offered
 // load: `warmup` cycles are simulated unmeasured, then deliveries during
 // `measure` cycles are recorded; `seeds` independent runs execute in
-// parallel and are averaged.
+// parallel and are averaged (scalars) or merged (latency histograms, so
+// cross-seed percentiles are exact).
 func RunSteady(c Config, w Workload, load float64, warmup, measure int64, seeds int) (SteadyResult, error) {
+	rs, err := SweepSteady(c, w, []float64{load}, warmup, measure, seeds)
+	if err != nil {
+		return SteadyResult{}, err
+	}
+	return rs[0], nil
+}
+
+// SweepSteady measures a whole load grid. The load×seed grid is
+// flattened through one bounded worker pool (GOMAXPROCS workers), so a
+// sweep never oversubscribes the machine the way per-load pools would.
+// The returned slice is ordered like loads.
+func SweepSteady(c Config, w Workload, loads []float64, warmup, measure int64, seeds int) ([]SteadyResult, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
 	if warmup < 0 || measure < 1 {
-		return SteadyResult{}, fmt.Errorf("sim: invalid windows warmup=%d measure=%d", warmup, measure)
+		return nil, fmt.Errorf("sim: invalid windows warmup=%d measure=%d", warmup, measure)
 	}
-	results := make([]SteadyResult, seeds)
-	err := forEachSeed(seeds, func(i int) error {
-		r, err := steadySeed(c, w, load, warmup, measure, uint64(i)*0x1000003+1)
-		results[i] = r
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("sim: empty load grid")
+	}
+	results := make([]SteadyResult, len(loads)*seeds)
+	hists := make([]*stats.Histogram, len(loads)*seeds)
+	err := forEachTask(len(loads)*seeds, func(k int) error {
+		r, h, err := steadySeed(c, w, loads[k/seeds], warmup, measure, seedFor(k%seeds))
+		results[k], hists[k] = r, h
 		return err
 	})
 	if err != nil {
-		return SteadyResult{}, err
+		return nil, err
 	}
-	return averageSteady(results), nil
+	out := make([]SteadyResult, len(loads))
+	for li := range loads {
+		out[li] = reduceSteady(results[li*seeds:(li+1)*seeds], hists[li*seeds:(li+1)*seeds])
+	}
+	return out, nil
 }
 
-// averageSeeds reduces per-seed results to their mean. Percentiles are
-// averaged across seeds (each seed's percentile is itself stable given
-// the millions of samples per window).
-func averageSteady(rs []SteadyResult) SteadyResult {
+// reduceSteady reduces per-seed results to one measurement: scalar
+// metrics are averaged across seeds, while the latency distribution is
+// merged and summarized exactly — averaging per-seed percentiles is
+// biased for the tail (each seed's P99 is a noisy order statistic whose
+// mean is not the P99 of the pooled distribution).
+func reduceSteady(rs []SteadyResult, hists []*stats.Histogram) SteadyResult {
 	out := rs[0]
-	if len(rs) == 1 {
-		return out
-	}
-	var lat, acc, misG, misL, hops, p50, p99, utilL, utilG float64
+	merged := hists[0]
+	var acc, misG, misL, hops, utilL, utilG float64
 	var delivered uint64
-	for _, r := range rs {
-		lat += r.AvgLatency
+	for i, r := range rs {
 		acc += r.Accepted
 		misG += r.MisroutedGlobal
 		misL += r.MisroutedLocal
 		hops += r.AvgHops
-		p50 += float64(r.P50)
-		p99 += float64(r.P99)
 		utilL += r.UtilLocal
 		utilG += r.UtilGlobal
 		delivered += r.Delivered
+		if i > 0 {
+			merged.Merge(hists[i])
+		}
 	}
 	n := float64(len(rs))
-	out.AvgLatency = lat / n
 	out.Accepted = acc / n
 	out.MisroutedGlobal = misG / n
 	out.MisroutedLocal = misL / n
 	out.AvgHops = hops / n
-	out.P50 = int64(p50 / n)
-	out.P99 = int64(p99 / n)
 	out.UtilLocal = utilL / n
 	out.UtilGlobal = utilG / n
+	out.AvgLatency = merged.Mean()
+	out.P50 = merged.Percentile(0.50)
+	out.P99 = merged.Percentile(0.99)
+	out.OverflowFrac = merged.OverflowFrac()
 	out.Delivered = delivered
 	out.Seeds = len(rs)
 	return out
@@ -301,6 +492,11 @@ type TransientResult struct {
 // cycles, switches to `after`, and traces deliveries from `pre` cycles
 // before the switch until `post` cycles after it, averaged over seeds.
 //
+// Only the destination pattern switches: the arrival process is
+// `before`'s for the whole run. An `after` workload carrying a
+// different non-default source spec is rejected rather than silently
+// measured under the wrong arrivals.
+//
 // The warmup is rounded up to a multiple of the ECtN exchange period so
 // the pattern change coincides with a partial-array distribution, the
 // scenario of Figure 7 ("the traffic changed exactly when the partial
@@ -315,13 +511,17 @@ func RunTransient(c Config, before, after Workload, load float64, warmup, pre, p
 	if warmup < pre || post < bucket {
 		return TransientResult{}, fmt.Errorf("sim: invalid transient windows warmup=%d pre=%d post=%d", warmup, pre, post)
 	}
+	if !after.Source.homogeneous() && after.Source != before.Source {
+		return TransientResult{}, fmt.Errorf("sim: transient arrival process is %q's for the whole run; %q's source spec would be ignored — put it on the pre-switch workload",
+			before.Name(), after.Name())
+	}
 	if p := c.Opts.ECtNPeriod; p > 0 && warmup%p != 0 {
 		warmup += p - warmup%p
 	}
 	nBuckets := int((pre + post) / bucket)
 	latSeries := make([]*stats.TimeSeries, seeds)
 	misSeries := make([]*stats.TimeSeries, seeds)
-	err := forEachSeed(seeds, func(i int) error {
+	err := forEachTask(seeds, func(i int) error {
 		seed := uint64(i)*0x2000003 + 17
 		net, err := BuildNetwork(c, seed)
 		if err != nil {
@@ -342,7 +542,9 @@ func RunTransient(c Config, before, after Workload, load float64, warmup, pre, p
 		if err != nil {
 			return err
 		}
-		inj, err := traffic.NewInjector(net, sched, load, seed^0xA5A5A5A5)
+		// The arrival process follows the pre-switch workload's source
+		// spec; the schedule switches only the destination pattern.
+		inj, err := before.injector(net, sched, load, seed^0xA5A5A5A5)
 		if err != nil {
 			return err
 		}
@@ -384,9 +586,11 @@ func RunTransient(c Config, before, after Workload, load float64, warmup, pre, p
 	return res, nil
 }
 
-// forEachSeed runs f(0..n-1) on up to GOMAXPROCS goroutines and returns
-// the first error.
-func forEachSeed(n int, f func(i int) error) error {
+// forEachTask runs f(0..n-1) on up to GOMAXPROCS goroutines and returns
+// the first error. It is the one bounded worker pool every repeat/grid
+// entry point funnels through, so nested parallelism cannot multiply
+// into more than GOMAXPROCS concurrently-simulated networks.
+func forEachTask(n int, f func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n

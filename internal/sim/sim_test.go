@@ -341,8 +341,8 @@ func TestRunTransientTimesRelative(t *testing.T) {
 	}
 }
 
-func TestForEachSeedErrorPropagates(t *testing.T) {
-	err := forEachSeed(8, func(i int) error {
+func TestForEachTaskErrorPropagates(t *testing.T) {
+	err := forEachTask(8, func(i int) error {
 		if i == 3 {
 			return errTest
 		}

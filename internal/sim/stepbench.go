@@ -24,6 +24,14 @@ const StepBenchWarmup = 500
 // reference algorithm state (polled PB flags, combine-every-group ECtN)
 // — and warms the network into steady state.
 func NewStepBench(s Scale, algo routing.Algo, load float64, fullScan, refScan bool) (*router.Network, *traffic.Injector, error) {
+	return NewStepBenchWorkload(s, algo, UN(), load, fullScan, refScan)
+}
+
+// NewStepBenchWorkload is NewStepBench for an arbitrary workload
+// (pattern and arrival process), so the benchmark suite can pin the
+// cost of the stateful calendar injector beside the Bernoulli fast
+// path at the same operating points.
+func NewStepBenchWorkload(s Scale, algo routing.Algo, w Workload, load float64, fullScan, refScan bool) (*router.Network, *traffic.Injector, error) {
 	c := NewConfig(s.Params(), algo)
 	c.Opts.ReferenceScan = refScan
 	net, err := BuildNetwork(c, 1)
@@ -31,11 +39,11 @@ func NewStepBench(s Scale, algo routing.Algo, load float64, fullScan, refScan bo
 		return nil, nil, err
 	}
 	net.FullScan = fullScan
-	pat, err := UN().Pattern(net.Topo)
+	pat, err := w.Pattern(net.Topo)
 	if err != nil {
 		return nil, nil, err
 	}
-	inj, err := traffic.NewInjector(net, traffic.Constant(pat), load, 2)
+	inj, err := w.injector(net, traffic.Constant(pat), load, 2)
 	if err != nil {
 		return nil, nil, err
 	}

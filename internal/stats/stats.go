@@ -98,6 +98,7 @@ func (w *Welford) String() string {
 // below the cap. The zero value is not ready; use NewHistogram.
 type Histogram struct {
 	bins     []int64
+	binCap   int64 // the cap passed to NewHistogram; overflow sits at this value
 	overflow int64
 	total    int64
 	sum      float64
@@ -108,7 +109,7 @@ func NewHistogram(max int) *Histogram {
 	if max < 1 {
 		max = 1
 	}
-	return &Histogram{bins: make([]int64, max)}
+	return &Histogram{bins: make([]int64, max), binCap: int64(max)}
 }
 
 // Add records one sample. Negative samples clamp to bin 0; samples >= cap
@@ -140,9 +141,24 @@ func (h *Histogram) Mean() float64 {
 // Overflow returns the number of samples at or above the bin cap.
 func (h *Histogram) Overflow() int64 { return h.overflow }
 
+// OverflowFrac returns the fraction of samples at or above the bin cap,
+// or 0 with no samples. A nonzero value means percentiles above
+// 1-OverflowFrac are saturated at Cap and should not be trusted.
+func (h *Histogram) OverflowFrac() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.overflow) / float64(h.total)
+}
+
+// Cap returns the bin cap: the value percentile queries saturate at when
+// they land in the overflow bin.
+func (h *Histogram) Cap() int64 { return h.binCap }
+
 // Percentile returns the smallest value v such that at least q (0..1) of
 // the samples are <= v. Samples in the overflow bin are treated as at the
-// cap. With no samples it returns 0.
+// cap, so a query landing there returns exactly Cap. With no samples it
+// returns 0.
 func (h *Histogram) Percentile(q float64) int64 {
 	if h.total == 0 {
 		return 0
@@ -164,12 +180,12 @@ func (h *Histogram) Percentile(q float64) int64 {
 			return int64(v)
 		}
 	}
-	return int64(len(h.bins))
+	return h.binCap
 }
 
 // Merge folds histogram o into h. Both must share the same bin cap.
 func (h *Histogram) Merge(o *Histogram) {
-	if len(h.bins) != len(o.bins) {
+	if len(h.bins) != len(o.bins) || h.binCap != o.binCap {
 		panic("stats: merging histograms of different size")
 	}
 	for i, c := range o.bins {

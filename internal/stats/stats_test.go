@@ -293,3 +293,49 @@ func BenchmarkHistogramAdd(b *testing.B) {
 		h.Add(int64(i % 3000))
 	}
 }
+
+func TestHistogramCapAndOverflowFrac(t *testing.T) {
+	h := NewHistogram(100)
+	if h.Cap() != 100 {
+		t.Fatalf("Cap() = %d", h.Cap())
+	}
+	if h.OverflowFrac() != 0 {
+		t.Fatal("empty histogram has nonzero overflow fraction")
+	}
+	for i := 0; i < 75; i++ {
+		h.Add(int64(i % 50))
+	}
+	for i := 0; i < 25; i++ {
+		h.Add(1000) // beyond the cap
+	}
+	if got := h.OverflowFrac(); got != 0.25 {
+		t.Fatalf("OverflowFrac = %v, want 0.25", got)
+	}
+	// A percentile landing in the overflow bin saturates at exactly Cap.
+	if p := h.Percentile(0.99); p != h.Cap() {
+		t.Fatalf("saturated percentile %d, want cap %d", p, h.Cap())
+	}
+	// A percentile below the overflow mass is exact.
+	if p := h.Percentile(0.5); p >= 50 {
+		t.Fatalf("P50 = %d, want < 50", p)
+	}
+}
+
+func TestHistogramMergePreservesOverflow(t *testing.T) {
+	a, b := NewHistogram(10), NewHistogram(10)
+	a.Add(3)
+	b.Add(99)
+	a.Merge(b)
+	if a.Count() != 2 || a.Overflow() != 1 {
+		t.Fatalf("merged count %d overflow %d", a.Count(), a.Overflow())
+	}
+	if a.OverflowFrac() != 0.5 {
+		t.Fatalf("merged OverflowFrac %v", a.OverflowFrac())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different caps did not panic")
+		}
+	}()
+	a.Merge(NewHistogram(20))
+}

@@ -1,0 +1,355 @@
+package traffic
+
+// This file holds the stateful arrival-process layer of the workload
+// engine. The paper's evaluation injects by a memoryless Bernoulli
+// process, which the skip-sampling fast path in Injector.Cycle covers;
+// bursty (on-off / Markov-modulated) sources and per-node heterogeneous
+// loads need per-node state, which the memoryless sampler cannot
+// express. A Source yields, per node, the absolute cycles at which that
+// node injects; the injector keeps the next injection of every node on a
+// calendar (a min-heap ordered by cycle then node id, so pops are
+// deterministic), making the per-cycle cost O(packets generated) with no
+// O(nodes) term — idle nodes and OFF phases cost nothing.
+
+import (
+	"fmt"
+	"math"
+
+	"cbar/internal/rng"
+)
+
+// Source is a per-node stochastic arrival process. Implementations own
+// all per-node state, including the RNG streams, and belong to exactly
+// one injector.
+type Source interface {
+	// First returns the cycle (>= 0, relative to the injector's start)
+	// of node's first injection; ok=false if the node never injects.
+	First(node int) (cycle int64, ok bool)
+	// Next returns the cycle of node's next injection after one at cycle
+	// t (strictly greater than t); ok=false if the node never injects
+	// again.
+	Next(node int, t int64) (cycle int64, ok bool)
+}
+
+// SourceKind selects the arrival-process family of a SourceSpec.
+type SourceKind int
+
+// Arrival-process families.
+const (
+	// BernoulliArrivals is the paper's memoryless process: each cycle,
+	// each node injects with probability load/packetSize. With no
+	// weights this is exactly the homogeneous fast path.
+	BernoulliArrivals SourceKind = iota
+	// OnOffArrivals is a two-state Markov-modulated (bursty) process:
+	// geometrically distributed ON phases injecting at a peak rate
+	// alternate with silent OFF phases.
+	OnOffArrivals
+)
+
+// SourceSpec declares an arrival process; NewSourceInjector resolves it
+// against a network and offered load.
+type SourceSpec struct {
+	Kind SourceKind
+	// OnMean and OffMean are the mean ON/OFF phase lengths in cycles
+	// (OnOffArrivals). Phase lengths are geometric with these means, so
+	// the process is a two-state Markov chain.
+	OnMean, OffMean float64
+	// PeakLoad, when nonzero, fixes the ON-phase offered load in
+	// phits/(node·cycle); the OFF mean is then rescaled so the aggregate
+	// load equals the injector's. When zero, the duty cycle
+	// OnMean/(OnMean+OffMean) is kept and the ON-phase rate is derived
+	// from the aggregate.
+	PeakLoad float64
+	// Weights scales per-node rates (heterogeneous load). Length must
+	// equal the node count; nil means homogeneous. Weights are
+	// normalized to mean 1, preserving the aggregate offered load.
+	Weights []float64
+}
+
+// normalizedWeights validates and rescales weights to mean 1. nil stays
+// nil (homogeneous).
+func normalizedWeights(w []float64, nodes int) ([]float64, error) {
+	if w == nil {
+		return nil, nil
+	}
+	if len(w) != nodes {
+		return nil, fmt.Errorf("traffic: %d weights for %d nodes", len(w), nodes)
+	}
+	sum := 0.0
+	for i, v := range w {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("traffic: weight[%d] = %v invalid", i, v)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("traffic: all %d weights zero", nodes)
+	}
+	out := make([]float64, nodes)
+	scale := float64(nodes) / sum
+	for i, v := range w {
+		out[i] = v * scale
+	}
+	return out, nil
+}
+
+// newSource resolves a spec at a per-node packet probability q
+// (packets/(node·cycle)) into a concrete source for `nodes` nodes, with
+// per-node RNG streams derived from seed. packetSize converts the
+// spec's phit-based PeakLoad to a packet probability.
+func newSource(spec SourceSpec, nodes, packetSize int, q float64, seed uint64) (Source, error) {
+	weights, err := normalizedWeights(spec.Weights, nodes)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case BernoulliArrivals:
+		return newBernoulliSource(nodes, q, weights, seed)
+	case OnOffArrivals:
+		return newOnOffSource(nodes, q, spec.PeakLoad/float64(packetSize), spec, weights, seed)
+	}
+	return nil, fmt.Errorf("traffic: unknown source kind %d", spec.Kind)
+}
+
+// prob returns node n's packet probability under optional weights,
+// erroring out of range instead of silently clamping (a clamped rate
+// would quietly offer less load than requested).
+func nodeProb(q float64, weights []float64, n int) (float64, error) {
+	p := q
+	if weights != nil {
+		p = q * weights[n]
+	}
+	if p > 1 {
+		return 0, fmt.Errorf("traffic: node %d rate %.3f packets/cycle exceeds 1 (load too high for its weight)", n, p)
+	}
+	return p, nil
+}
+
+// bernoulliSource is the per-node-stream Bernoulli process: node n
+// injects each cycle with probability prob[n], sampled by geometric
+// inversion on its own stream (one uniform per injection, not per
+// cycle).
+type bernoulliSource struct {
+	prob []float64
+	rngs []rng.PCG
+}
+
+func newBernoulliSource(nodes int, q float64, weights []float64, seed uint64) (Source, error) {
+	s := &bernoulliSource{prob: make([]float64, nodes), rngs: make([]rng.PCG, nodes)}
+	for n := 0; n < nodes; n++ {
+		p, err := nodeProb(q, weights, n)
+		if err != nil {
+			return nil, err
+		}
+		s.prob[n] = p
+		s.rngs[n].Seed(seed, uint64(n))
+	}
+	return s, nil
+}
+
+func (s *bernoulliSource) First(n int) (int64, bool) {
+	p := s.prob[n]
+	if p <= 0 {
+		return 0, false
+	}
+	return int64(s.rngs[n].Geometric(p)), true
+}
+
+func (s *bernoulliSource) Next(n int, t int64) (int64, bool) {
+	p := s.prob[n]
+	if p <= 0 {
+		return 0, false
+	}
+	return t + 1 + int64(s.rngs[n].Geometric(p)), true
+}
+
+// onOffSource is a two-state Markov-modulated Bernoulli process: in an
+// ON phase node n injects each cycle with probability qOn[n]; OFF phases
+// are silent. Phase lengths are geometric (>= 1 cycle) with the
+// configured means, so the per-cycle naive equivalent is a Markov chain:
+// inject by the phase's rate, then stay/leave the phase by its mean.
+// Sampling inverts both geometrics, so the cost per injection is O(1)
+// plus the (state-advancing) phase transitions skipped over.
+type onOffSource struct {
+	qOn     []float64
+	pOnEnd  float64 // per-cycle probability an ON phase ends (1/OnMean)
+	pOffEnd float64
+	state   []onOffState
+	rngs    []rng.PCG
+}
+
+type onOffState struct {
+	on       bool
+	phaseEnd int64 // first cycle beyond the current phase
+	started  bool
+}
+
+// maxPhaseWalk bounds how many silent phases one Next call skips; rates
+// low enough to exhaust it (an expected >> 10^6 phases between packets)
+// are treated as a never-injecting node.
+const maxPhaseWalk = 1 << 20
+
+func newOnOffSource(nodes int, q, peakProb float64, spec SourceSpec, weights []float64, seed uint64) (Source, error) {
+	if !(spec.OnMean >= 1) || !(spec.OffMean >= 0) {
+		return nil, fmt.Errorf("traffic: on-off phase means on=%v off=%v (need on >= 1, off >= 0)", spec.OnMean, spec.OffMean)
+	}
+	if q <= 0 {
+		// Zero aggregate load: a silent source, whatever the phases.
+		return &bernoulliSource{prob: make([]float64, nodes), rngs: make([]rng.PCG, nodes)}, nil
+	}
+	onMean, offMean := spec.OnMean, spec.OffMean
+	qOn := q * (onMean + offMean) / onMean
+	if peakProb > 0 {
+		// The peak fixes the ON-phase rate; the duty cycle (via the OFF
+		// mean) adapts so ON-rate × duty equals the aggregate q.
+		if peakProb < q {
+			return nil, fmt.Errorf("traffic: on-off peak rate %.4f below aggregate %.4f packets/(node·cycle)", peakProb, q)
+		}
+		qOn = peakProb
+		offMean = onMean * (qOn - q) / q
+	}
+	if qOn > 1 {
+		return nil, fmt.Errorf("traffic: on-off peak rate %.3f packets/(node·cycle) exceeds 1 (lengthen OnMean/OffMean or lower the load)", qOn)
+	}
+	s := &onOffSource{
+		qOn:   make([]float64, nodes),
+		state: make([]onOffState, nodes),
+		rngs:  make([]rng.PCG, nodes),
+	}
+	s.pOnEnd = 1 / onMean
+	for n := 0; n < nodes; n++ {
+		p, err := nodeProb(qOn, weights, n)
+		if err != nil {
+			return nil, err
+		}
+		s.qOn[n] = p
+		s.rngs[n].Seed(seed, uint64(n))
+	}
+	// A zero OFF mean is always-on: exactly Bernoulli at the ON rate.
+	if offMean == 0 {
+		return &bernoulliSource{prob: s.qOn, rngs: s.rngs}, nil
+	}
+	s.pOffEnd = 1 / offMean
+	return s, nil
+}
+
+// phaseLen draws a geometric phase length >= 1 with the phase's mean.
+func (s *onOffSource) phaseLen(on bool, r *rng.PCG) int64 {
+	p := s.pOffEnd
+	if on {
+		p = s.pOnEnd
+	}
+	if p >= 1 {
+		return 1
+	}
+	return 1 + int64(r.Geometric(p))
+}
+
+func (s *onOffSource) First(n int) (int64, bool) {
+	st := &s.state[n]
+	r := &s.rngs[n]
+	// Start in the stationary phase distribution; geometric phases are
+	// memoryless, so a fresh full phase is the correct residual.
+	duty := s.pOffEnd / (s.pOnEnd + s.pOffEnd)
+	st.on = r.Bernoulli(duty)
+	st.phaseEnd = s.phaseLen(st.on, r)
+	st.started = true
+	return s.nextFrom(n, 0)
+}
+
+func (s *onOffSource) Next(n int, t int64) (int64, bool) {
+	return s.nextFrom(n, t+1)
+}
+
+// nextFrom returns the first injection cycle >= from, advancing the
+// node's phase state. Within an ON phase the time to the next injection
+// is geometric; a draw past the phase end is discarded and redrawn in
+// the next ON phase, which by memorylessness is exactly equivalent to
+// the per-cycle Bernoulli chain.
+func (s *onOffSource) nextFrom(n int, from int64) (int64, bool) {
+	st := &s.state[n]
+	r := &s.rngs[n]
+	q := s.qOn[n]
+	if q <= 0 || !st.started {
+		return 0, false
+	}
+	pos := from
+	for walk := 0; walk < maxPhaseWalk; walk++ {
+		if pos >= st.phaseEnd {
+			st.on = !st.on
+			st.phaseEnd += s.phaseLen(st.on, r)
+			continue
+		}
+		if !st.on {
+			pos = st.phaseEnd
+			continue
+		}
+		c := pos + int64(r.Geometric(q))
+		if c < st.phaseEnd {
+			return c, true
+		}
+		pos = st.phaseEnd
+	}
+	return 0, false
+}
+
+// calEntry is one calendar entry: node injects at cycle t.
+type calEntry struct {
+	t    int64
+	node int32
+}
+
+// calendar is a binary min-heap of per-node next-injection times,
+// ordered by (cycle, node id) so same-cycle pops visit nodes in
+// ascending id order — the same visit order as a full per-node scan,
+// keeping calendar-driven runs deterministic.
+type calendar struct {
+	heap []calEntry
+}
+
+func calLess(a, b calEntry) bool {
+	return a.t < b.t || (a.t == b.t && a.node < b.node)
+}
+
+func (c *calendar) push(e calEntry) {
+	c.heap = append(c.heap, e)
+	i := len(c.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !calLess(c.heap[i], c.heap[parent]) {
+			break
+		}
+		c.heap[i], c.heap[parent] = c.heap[parent], c.heap[i]
+		i = parent
+	}
+}
+
+func (c *calendar) peek() (calEntry, bool) {
+	if len(c.heap) == 0 {
+		return calEntry{}, false
+	}
+	return c.heap[0], true
+}
+
+func (c *calendar) pop() calEntry {
+	top := c.heap[0]
+	last := len(c.heap) - 1
+	c.heap[0] = c.heap[last]
+	c.heap = c.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(c.heap) && calLess(c.heap[l], c.heap[small]) {
+			small = l
+		}
+		if r < len(c.heap) && calLess(c.heap[r], c.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		c.heap[i], c.heap[small] = c.heap[small], c.heap[i]
+		i = small
+	}
+}

@@ -27,8 +27,15 @@ type uniform struct {
 	t *topology.Dragonfly
 }
 
-// NewUniform returns the UN pattern over topology t.
-func NewUniform(t *topology.Dragonfly) Pattern { return uniform{t} }
+// NewUniform returns the UN pattern over topology t. A topology with a
+// single node is rejected: "any node but the source" would not exist and
+// destination drawing could never terminate.
+func NewUniform(t *topology.Dragonfly) (Pattern, error) {
+	if err := validatePatternTopology(t, "uniform"); err != nil {
+		return nil, err
+	}
+	return uniform{t}, nil
+}
 
 func (uniform) Name() string { return "UN" }
 
@@ -154,21 +161,32 @@ func (s *Schedule) At(cycle int64) Pattern {
 	return cur
 }
 
-// Injector drives a network with Bernoulli traffic: each cycle, each node
-// generates a packet with probability load/packetSize (load measured in
-// phits/(node·cycle), §IV-B) toward a destination drawn from the
-// schedule's current pattern.
+// Injector drives a network with generated traffic toward destinations
+// drawn from the schedule's current pattern. Two injection paths exist:
+//
+//   - The homogeneous Bernoulli fast path (NewInjector): each cycle,
+//     each node generates a packet with probability load/packetSize
+//     (load measured in phits/(node·cycle), §IV-B), skip-sampled so the
+//     cost is O(packets generated). This path is kept bit-identical to
+//     the original injector.
+//   - The stateful calendar path (NewSourceInjector): per-node arrival
+//     processes (bursty on-off sources, heterogeneous rates) keep their
+//     next injection time on a calendar; each cycle pops only the nodes
+//     that inject now, preserving the O(packets generated) cost.
 type Injector struct {
 	net   *router.Network
 	sched *Schedule
 	prob  float64
 	load  float64
 	rng   *rng.PCG
+	// Stateful path (nil src selects the homogeneous fast path).
+	src Source
+	cal calendar
 }
 
-// NewInjector builds an injector at the given offered load in
-// phits/(node·cycle). Loads above the injection bandwidth of 1 are
-// rejected.
+// NewInjector builds a homogeneous Bernoulli injector at the given
+// offered load in phits/(node·cycle). Loads above the injection
+// bandwidth of 1 are rejected.
 func NewInjector(net *router.Network, sched *Schedule, load float64, seed uint64) (*Injector, error) {
 	if load < 0 || load > 1 {
 		return nil, fmt.Errorf("traffic: offered load %v outside [0,1] phits/(node*cycle)", load)
@@ -185,18 +203,51 @@ func NewInjector(net *router.Network, sched *Schedule, load float64, seed uint64
 	}, nil
 }
 
-// Load returns the configured offered load in phits/(node·cycle).
+// NewSourceInjector builds a stateful injector whose per-node arrival
+// processes follow spec at the given aggregate offered load in
+// phits/(node·cycle). The network must be at cycle 0: source state
+// (burst phases, next-injection times) is anchored to the simulation
+// start. Construction is O(nodes) (every node's first injection seeds
+// the calendar); each Cycle afterwards costs O(packets generated),
+// like the Bernoulli fast path.
+func NewSourceInjector(net *router.Network, sched *Schedule, load float64, seed uint64, spec SourceSpec) (*Injector, error) {
+	in, err := NewInjector(net, sched, load, seed)
+	if err != nil {
+		return nil, err
+	}
+	if now := net.Now(); now != 0 {
+		return nil, fmt.Errorf("traffic: stateful injector needs a fresh network, cycle is %d", now)
+	}
+	src, err := newSource(spec, net.Topo.Nodes, net.Cfg.PacketSize, in.prob, seed)
+	if err != nil {
+		return nil, err
+	}
+	in.src = src
+	for node := 0; node < net.Topo.Nodes; node++ {
+		if t, ok := src.First(node); ok {
+			in.cal.push(calEntry{t: t, node: int32(node)})
+		}
+	}
+	return in, nil
+}
+
+// Load returns the configured aggregate offered load in
+// phits/(node·cycle).
 func (in *Injector) Load() float64 { return in.load }
 
 // Cycle generates this cycle's traffic; call it once per cycle before
 // Network.Step.
 //
 // Instead of a Bernoulli draw per node — O(nodes) every cycle no matter
-// the load — the injector skip-samples: geometric jumps land directly on
+// the load — the fast path skip-samples: geometric jumps land directly on
 // the nodes that generate this cycle, so the cost is proportional to the
 // number of packets generated. The node set produced is distributed
 // identically to independent per-node draws (inversion sampling).
 func (in *Injector) Cycle() {
+	if in.src != nil {
+		in.cycleCalendar()
+		return
+	}
 	if in.prob <= 0 {
 		return
 	}
@@ -210,5 +261,29 @@ func (in *Injector) Cycle() {
 	}
 	for node := in.rng.Geometric(in.prob); node < nodes; node += 1 + in.rng.Geometric(in.prob) {
 		in.net.Inject(node, pat.Dest(node, in.rng))
+	}
+}
+
+// cycleCalendar pops every node whose next injection is due and
+// reschedules it from its arrival process. Destinations draw from the
+// injector's shared stream in pop order, which the calendar keeps
+// deterministic (ascending node id within a cycle).
+func (in *Injector) cycleCalendar() {
+	now := in.net.Now()
+	var pat Pattern
+	for {
+		top, ok := in.cal.peek()
+		if !ok || top.t > now {
+			return
+		}
+		in.cal.pop()
+		if pat == nil {
+			pat = in.sched.At(now)
+		}
+		node := int(top.node)
+		in.net.Inject(node, pat.Dest(node, in.rng))
+		if next, ok := in.src.Next(node, now); ok {
+			in.cal.push(calEntry{t: next, node: top.node})
+		}
 	}
 }

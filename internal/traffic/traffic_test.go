@@ -12,9 +12,19 @@ import (
 
 func topo() *topology.Dragonfly { return topology.MustNew(topology.Params{P: 4, A: 4, H: 2}) }
 
+// mustUniform builds the UN pattern, failing the test on error.
+func mustUniform(t *testing.T, tp *topology.Dragonfly) Pattern {
+	t.Helper()
+	u, err := NewUniform(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
 func TestUniformNeverSelf(t *testing.T) {
 	tp := topo()
-	u := NewUniform(tp)
+	u := mustUniform(t, tp)
 	r := rng.New(1, 1)
 	counts := make([]int, tp.Nodes)
 	for i := 0; i < 20000; i++ {
@@ -85,7 +95,7 @@ func TestAdversarialRejectsDegenerate(t *testing.T) {
 func TestMixProportions(t *testing.T) {
 	tp := topo()
 	adv, _ := NewAdversarial(tp, 1)
-	m, err := NewMix(NewUniform(tp), adv, 0.7)
+	m, err := NewMix(mustUniform(t, tp), adv, 0.7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +119,7 @@ func TestMixProportions(t *testing.T) {
 
 func TestMixRejectsBadFraction(t *testing.T) {
 	tp := topo()
-	u := NewUniform(tp)
+	u := mustUniform(t, tp)
 	for _, f := range []float64{-0.1, 1.1} {
 		if _, err := NewMix(u, u, f); err == nil {
 			t.Fatalf("fraction %v accepted", f)
@@ -119,7 +129,7 @@ func TestMixRejectsBadFraction(t *testing.T) {
 
 func TestScheduleSwitching(t *testing.T) {
 	tp := topo()
-	u := NewUniform(tp)
+	u := mustUniform(t, tp)
 	a, _ := NewAdversarial(tp, 1)
 	s, err := NewSchedule(Phase{0, u}, Phase{100, a}, Phase{200, u})
 	if err != nil {
@@ -135,7 +145,7 @@ func TestScheduleSwitching(t *testing.T) {
 
 func TestScheduleValidation(t *testing.T) {
 	tp := topo()
-	u := NewUniform(tp)
+	u := mustUniform(t, tp)
 	if _, err := NewSchedule(); err == nil {
 		t.Fatal("empty schedule accepted")
 	}
@@ -152,7 +162,7 @@ func TestScheduleValidation(t *testing.T) {
 
 func TestConstantSchedule(t *testing.T) {
 	tp := topo()
-	s := Constant(NewUniform(tp))
+	s := Constant(mustUniform(t, tp))
 	if s.At(0).Name() != "UN" || s.At(1<<40).Name() != "UN" {
 		t.Fatal("constant schedule wrong")
 	}
@@ -171,7 +181,7 @@ func buildNet(t *testing.T) *router.Network {
 func TestInjectorRate(t *testing.T) {
 	n := buildNet(t)
 	load := 0.2 // phits/(node·cycle) -> 0.025 packets/(node·cycle)
-	inj, err := NewInjector(n, Constant(NewUniform(n.Topo)), load, 7)
+	inj, err := NewInjector(n, Constant(mustUniform(t, n.Topo)), load, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +205,7 @@ func TestInjectorRate(t *testing.T) {
 
 func TestInjectorValidation(t *testing.T) {
 	n := buildNet(t)
-	sched := Constant(NewUniform(n.Topo))
+	sched := Constant(mustUniform(t, n.Topo))
 	if _, err := NewInjector(n, sched, -0.1, 1); err == nil {
 		t.Fatal("negative load accepted")
 	}
@@ -209,7 +219,7 @@ func TestInjectorValidation(t *testing.T) {
 
 func TestInjectorZeroLoad(t *testing.T) {
 	n := buildNet(t)
-	inj, err := NewInjector(n, Constant(NewUniform(n.Topo)), 0, 7)
+	inj, err := NewInjector(n, Constant(mustUniform(t, n.Topo)), 0, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +235,7 @@ func TestInjectorZeroLoad(t *testing.T) {
 func TestInjectorDeterminism(t *testing.T) {
 	run := func() uint64 {
 		n := buildNet(t)
-		inj, _ := NewInjector(n, Constant(NewUniform(n.Topo)), 0.3, 99)
+		inj, _ := NewInjector(n, Constant(mustUniform(t, n.Topo)), 0.3, 99)
 		for i := 0; i < 500; i++ {
 			inj.Cycle()
 			n.Step()
@@ -244,7 +254,7 @@ func TestPatternNames(t *testing.T) {
 	if adv.Name() != "ADV+3" {
 		t.Fatalf("name %q", adv.Name())
 	}
-	m, _ := NewMix(NewUniform(tp), adv, 0.25)
+	m, _ := NewMix(mustUniform(t, tp), adv, 0.25)
 	if m.Name() == "" {
 		t.Fatal("empty mix name")
 	}

@@ -3,7 +3,6 @@ package cbar
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"cbar/internal/sim"
 )
@@ -73,6 +72,11 @@ type SteadyResult struct {
 	// source-group local links under ADV+h).
 	UtilLocal  float64
 	UtilGlobal float64
+	// OverflowFrac is the fraction of measured latencies at or above
+	// the latency-histogram cap. Nonzero means the reported percentiles
+	// are saturated at the cap (the true tail is worse) — typical when
+	// the offered load exceeds the saturation throughput.
+	OverflowFrac float64
 	// Delivered counts packets measured across all seeds.
 	Delivered uint64
 	// Seeds is the number of averaged repeats.
@@ -93,6 +97,7 @@ func fromSimSteady(r sim.SteadyResult) SteadyResult {
 		AvgHops:         r.AvgHops,
 		UtilLocal:       r.UtilLocal,
 		UtilGlobal:      r.UtilGlobal,
+		OverflowFrac:    r.OverflowFrac,
 		Delivered:       r.Delivered,
 		Seeds:           r.Seeds,
 	}
@@ -113,8 +118,10 @@ func RunSteady(c Config, t Traffic, load float64, opt SteadyOptions) (SteadyResu
 	return fromSimSteady(r), nil
 }
 
-// Sweep measures a whole load grid, running the points concurrently. The
-// returned slice is ordered like loads.
+// Sweep measures a whole load grid. Every (load, seed) point of the
+// grid runs through one bounded worker pool (GOMAXPROCS workers) — a
+// sweep of L loads no longer fans out into L independent seed pools.
+// The returned slice is ordered like loads.
 func Sweep(c Config, t Traffic, loads []float64, opt SteadyOptions) ([]SteadyResult, error) {
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("cbar: empty load grid")
@@ -124,22 +131,13 @@ func Sweep(c Config, t Traffic, loads []float64, opt SteadyOptions) ([]SteadyRes
 		return nil, err
 	}
 	opt = opt.withDefaults(c)
-	out := make([]SteadyResult, len(loads))
-	errs := make([]error, len(loads))
-	var wg sync.WaitGroup
-	for i, l := range loads {
-		wg.Add(1)
-		go func(i int, l float64) {
-			defer wg.Done()
-			r, err := sim.RunSteady(sc, t.inner, l, opt.Warmup, opt.Measure, opt.Seeds)
-			out[i], errs[i] = fromSimSteady(r), err
-		}(i, l)
+	rs, err := sim.SweepSteady(sc, t.inner, loads, opt.Warmup, opt.Measure, opt.Seeds)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	out := make([]SteadyResult, len(rs))
+	for i, r := range rs {
+		out[i] = fromSimSteady(r)
 	}
 	return out, nil
 }
