@@ -164,6 +164,16 @@ type Config struct {
 	// Algorithm is the routing mechanism.
 	Algorithm Algorithm
 
+	// Workers is the number of shard workers each simulated cycle fans
+	// out over (the network is partitioned into contiguous blocks of
+	// whole groups). Results are cycle-for-cycle identical at every
+	// worker count. 0 (the default) lets the sweep entry points split
+	// GOMAXPROCS between grid parallelism and intra-run sharding
+	// automatically: wide load×seed grids keep runs sequential, narrow
+	// grids (the common paper-scale case) shard each run across the
+	// idle cores. 1 forces sequential stepping.
+	Workers int
+
 	// Micro-architecture (Table I defaults via NewConfig).
 	PacketSize      int // phits per packet
 	VCsInjection    int
@@ -257,6 +267,7 @@ func (c Config) internal() (sim.Config, error) {
 	setIf(&sc.Router.PipelineLatency, c.PipelineLatency)
 	setIf(&sc.Router.Speedup, c.Speedup)
 	setIf(&sc.Router.NICQueuePackets, c.NICQueuePackets)
+	sc.Router.Workers = c.Workers
 	set32 := func(dst *int32, v int) {
 		if v != 0 {
 			*dst = int32(v)

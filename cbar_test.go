@@ -172,6 +172,30 @@ func TestRunSteadySmoke(t *testing.T) {
 	}
 }
 
+// TestWorkersIdenticalResults pins the public contract of
+// Config.Workers: the same sweep at 1 and 3 shard workers per run must
+// report identical measurements — the knob changes wall-clock time and
+// nothing else.
+func TestWorkersIdenticalResults(t *testing.T) {
+	t.Parallel()
+	opt := SteadyOptions{Warmup: 500, Measure: 500, Seeds: 2}
+	run := func(workers int) []SteadyResult {
+		c := NewConfig(Tiny, ECtN)
+		c.Workers = workers
+		rs, err := Sweep(c, Adversarial(1), []float64{0.2, 0.4}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	seq, par := run(1), run(3)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("load %v diverged:\n  workers=1 %+v\n  workers=3 %+v", seq[i].Load, seq[i], par[i])
+		}
+	}
+}
+
 func TestRunSteadyCustomTopology(t *testing.T) {
 	t.Parallel()
 	c := NewConfigFor(2, 4, 2, MIN) // 9 groups, 72 nodes

@@ -36,6 +36,9 @@ type BenchResult struct {
 	// CyclesPerOp is the number of simulated cycles one op covers (1 for
 	// step benchmarks; measured for burst-drain).
 	CyclesPerOp float64 `json:"cycles_per_op,omitempty"`
+	// Workers is the shard worker count the network was stepped with
+	// (the workers dimension of the record; 1 = sequential stepping).
+	Workers int `json:"workers"`
 }
 
 // EndToEnd is a fixed-cycle whole-simulation measurement.
@@ -85,6 +88,29 @@ func stepBenchWorkload(s sim.Scale, algo routing.Algo, w sim.Workload, load floa
 		}
 		// A long measured run generating nothing means the injector is
 		// broken and the numbers would record an empty network.
+		if b.N > 1000 && net.NumGenerated == gen0 {
+			b.Fatal("no traffic generated during measurement")
+		}
+	}
+}
+
+// stepBenchWorkers measures the same injected cycle with the network
+// stepped by `workers` shard workers — the cycles are bit-identical to
+// the sequential stepper's, so the delta against a Workers1 entry is
+// pure parallel speedup minus barrier cost.
+func stepBenchWorkers(s sim.Scale, load float64, workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		net, inj, err := sim.NewStepBenchWorkers(s, routing.Base, sim.UN(), load, false, false, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen0 := net.NumGenerated
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inj.Cycle()
+			net.Step()
+		}
 		if b.N > 1000 && net.NumGenerated == gen0 {
 			b.Fatal("no traffic generated during measurement")
 		}
@@ -152,46 +178,61 @@ func main() {
 
 	var burstCycles float64
 	suite := []struct {
-		name string
-		fn   func(b *testing.B)
+		name    string
+		workers int // 0 in the table means sequential (recorded as 1)
+		fn      func(b *testing.B)
 	}{
-		{"StepTinyBase", stepBench(sim.Tiny, routing.Base, 0.3, false, false)},
-		{"StepSmallBase", stepBench(sim.Small, routing.Base, 0.3, false, false)},
-		{"StepSmallMin", stepBench(sim.Small, routing.Min, 0.3, false, false)},
-		{"StepSmallECtN", stepBench(sim.Small, routing.ECtN, 0.3, false, false)},
-		{"StepSmallPB", stepBench(sim.Small, routing.PB, 0.3, false, false)},
-		{"StepSmallIdle", stepBench(sim.Small, routing.Base, 0.01, false, false)},
-		{"StepSmallFullScanIdle", stepBench(sim.Small, routing.Base, 0.01, true, false)},
+		{"StepTinyBase", 0, stepBench(sim.Tiny, routing.Base, 0.3, false, false)},
+		{"StepSmallBase", 0, stepBench(sim.Small, routing.Base, 0.3, false, false)},
+		{"StepSmallMin", 0, stepBench(sim.Small, routing.Min, 0.3, false, false)},
+		{"StepSmallECtN", 0, stepBench(sim.Small, routing.ECtN, 0.3, false, false)},
+		{"StepSmallPB", 0, stepBench(sim.Small, routing.PB, 0.3, false, false)},
+		{"StepSmallIdle", 0, stepBench(sim.Small, routing.Base, 0.01, false, false)},
+		{"StepSmallFullScanIdle", 0, stepBench(sim.Small, routing.Base, 0.01, true, false)},
 		// The PB/ECtN idle benchmarks track the event-driven algorithm
 		// layer; the RefScan variants pin the retained full-recompute
 		// reference (the original polled implementation) beside them.
-		{"StepSmallPBIdle", stepBench(sim.Small, routing.PB, 0.01, false, false)},
-		{"StepSmallPBRefScanIdle", stepBench(sim.Small, routing.PB, 0.01, false, true)},
-		{"StepSmallECtNIdle", stepBench(sim.Small, routing.ECtN, 0.01, false, false)},
-		{"StepSmallECtNRefScanIdle", stepBench(sim.Small, routing.ECtN, 0.01, false, true)},
+		{"StepSmallPBIdle", 0, stepBench(sim.Small, routing.PB, 0.01, false, false)},
+		{"StepSmallPBRefScanIdle", 0, stepBench(sim.Small, routing.PB, 0.01, false, true)},
+		{"StepSmallECtNIdle", 0, stepBench(sim.Small, routing.ECtN, 0.01, false, false)},
+		{"StepSmallECtNRefScanIdle", 0, stepBench(sim.Small, routing.ECtN, 0.01, false, true)},
 		// The bursty/hotspot idle entries track the stateful calendar
 		// injector beside the Bernoulli skip-sampler: same scale, same
 		// load, different arrival process — the delta is the cost of
 		// per-node source state.
-		{"StepSmallBurstyIdle", stepBenchWorkload(sim.Small, routing.Base, sim.UN().WithBurst(50, 150, 0), 0.01, false, false)},
-		{"StepSmallHotspotIdle", stepBenchWorkload(sim.Small, routing.Base, sim.HotspotUN(0.2, 8), 0.01, false, false)},
-		{"StepPaperIdle", stepBench(sim.Paper, routing.Base, 0.01, false, false)},
-		{"StepPaperBurstyIdle", stepBenchWorkload(sim.Paper, routing.Base, sim.UN().WithBurst(50, 150, 0), 0.01, false, false)},
-		{"StepPaperPBIdle", stepBench(sim.Paper, routing.PB, 0.01, false, false)},
-		{"StepPaperPBRefScanIdle", stepBench(sim.Paper, routing.PB, 0.01, false, true)},
-		{"StepPaperECtNIdle", stepBench(sim.Paper, routing.ECtN, 0.01, false, false)},
-		{"StepSmallBurstDrain", burstDrainBench(&burstCycles)},
+		{"StepSmallBurstyIdle", 0, stepBenchWorkload(sim.Small, routing.Base, sim.UN().WithBurst(50, 150, 0), 0.01, false, false)},
+		{"StepSmallHotspotIdle", 0, stepBenchWorkload(sim.Small, routing.Base, sim.HotspotUN(0.2, 8), 0.01, false, false)},
+		{"StepPaperIdle", 0, stepBench(sim.Paper, routing.Base, 0.01, false, false)},
+		{"StepPaperBurstyIdle", 0, stepBenchWorkload(sim.Paper, routing.Base, sim.UN().WithBurst(50, 150, 0), 0.01, false, false)},
+		{"StepPaperPBIdle", 0, stepBench(sim.Paper, routing.PB, 0.01, false, false)},
+		{"StepPaperPBRefScanIdle", 0, stepBench(sim.Paper, routing.PB, 0.01, false, true)},
+		{"StepPaperECtNIdle", 0, stepBench(sim.Paper, routing.ECtN, 0.01, false, false)},
+		// The workers entries track the shard-parallel stepper beside
+		// the sequential stepper at a loaded operating point (30% UN,
+		// the parallel-stepper acceptance regime); the cycles are
+		// bit-identical, so the cycles/sec ratio is pure parallel
+		// speedup minus barrier cost. Meaningful on a multi-core host.
+		{"StepSmallWorkers1", 1, stepBenchWorkers(sim.Small, 0.3, 1)},
+		{"StepSmallWorkers4", 4, stepBenchWorkers(sim.Small, 0.3, 4)},
+		{"StepPaperWorkers1", 1, stepBenchWorkers(sim.Paper, 0.3, 1)},
+		{"StepPaperWorkers4", 4, stepBenchWorkers(sim.Paper, 0.3, 4)},
+		{"StepSmallBurstDrain", 0, burstDrainBench(&burstCycles)},
 	}
 
 	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, s := range suite {
 		fmt.Fprintf(os.Stderr, "running %s...\n", s.name)
 		r := testing.Benchmark(s.fn)
+		workers := s.workers
+		if workers == 0 {
+			workers = 1
+		}
 		res := BenchResult{
 			Name:        s.name,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			Workers:     workers,
 		}
 		if s.name == "StepSmallBurstDrain" {
 			res.CyclesPerOp = burstCycles

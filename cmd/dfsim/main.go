@@ -35,6 +35,7 @@ func main() {
 		bucket    = flag.Int64("bucket", 0, "transient trace bucket width in cycles")
 		post      = flag.Int64("post", 0, "transient trace length after the switch")
 		baseTh    = flag.Int("th", 0, "override the Base/ECtN contention threshold")
+		workers   = flag.Int("workers", 0, "shard workers per simulated network (0 = auto, 1 = sequential; results are identical at any count)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 	if *baseTh > 0 {
 		cfg.BaseTh = *baseTh
 	}
+	cfg.Workers = *workers
 
 	traf, err := cbar.ParseTraffic(*trafName)
 	die(err)

@@ -29,6 +29,7 @@ func main() {
 		figFlag   = flag.String("fig", "all", "experiment ids ("+strings.Join(cbar.ExperimentIDs(), "|")+"), or 'all' (figures), 'ablations', 'everything'")
 		scaleName = flag.String("scale", "small", "network scale: tiny|small|paper")
 		seeds     = flag.Int("seeds", 0, "repeats per point (0 = scale default)")
+		workers   = flag.Int("workers", 0, "shard workers per simulated network (0 = auto: shard runs across idle cores when the experiment grid is narrower than GOMAXPROCS, 1 = sequential stepping; results are identical at any count)")
 		outDir    = flag.String("out", "", "directory for CSV files (default: stdout)")
 	)
 	flag.Parse()
@@ -59,14 +60,15 @@ func main() {
 		die(err)
 		fmt.Fprintf(os.Stderr, "== %s: %s (scale %s)\n", id, title, scale)
 		start := time.Now()
+		opt := cbar.ExperimentOptions{Seeds: *seeds, Workers: *workers}
 		if *outDir == "" {
-			die(cbar.RunExperiment(id, scale, *seeds, os.Stdout))
+			die(cbar.RunExperimentOpts(id, scale, opt, os.Stdout))
 		} else {
 			die(os.MkdirAll(*outDir, 0o755))
 			path := filepath.Join(*outDir, fmt.Sprintf("%s_%s.csv", id, scale))
 			f, err := os.Create(path)
 			die(err)
-			err = cbar.RunExperiment(id, scale, *seeds, f)
+			err = cbar.RunExperimentOpts(id, scale, opt, f)
 			cerr := f.Close()
 			die(err)
 			die(cerr)

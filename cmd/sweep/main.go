@@ -37,6 +37,7 @@ func main() {
 		warmup    = flag.Int64("warmup", 0, "warmup cycles (0 = scale default)")
 		measure   = flag.Int64("measure", 0, "measurement cycles (0 = scale default)")
 		seeds     = flag.Int("seeds", 0, "repeats per point (0 = scale default)")
+		workers   = flag.Int("workers", 0, "shard workers per simulated network (0 = auto: shard runs across idle cores when the load×seed grid is narrower than GOMAXPROCS, 1 = sequential stepping; results are identical at any count)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 	opt := cbar.SteadyOptions{Warmup: *warmup, Measure: *measure, Seeds: *seeds}
 	for _, a := range algos {
 		cfg := cbar.NewConfig(scale, a)
+		cfg.Workers = *workers
 		rs, err := cbar.Sweep(cfg, traf, loads, opt)
 		die(err)
 		for _, r := range rs {

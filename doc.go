@@ -107,4 +107,22 @@
 // debug flags (the fabric's FullScan, the policies' ReferenceScan) and
 // equivalence tests pin both modes to cycle-for-cycle identical results;
 // `go run ./cmd/bench` tracks the hot path's speed in BENCH_step.json.
+//
+// A single run can additionally be stepped by multiple cores
+// (Config.Workers, cmd/sweep and cmd/figures -workers): the network is
+// partitioned into contiguous blocks of whole groups and each cycle runs
+// its phases in parallel across the shards, with barriers between
+// phases. Cross-shard effects — packets crossing global links, credit
+// returns to upstream groups — travel through per-(source, target)
+// mailboxes drained at the cycle barrier in ascending (shard, seq)
+// order, and delivery callbacks are collected per shard and replayed at
+// the handle barrier in ascending destination order. Every routing
+// decision consults only the deciding router and its own group's
+// broadcast state, and per-router RNG streams keep random choices
+// shard-local, so the parallel stepper is cycle-for-cycle and
+// bit-for-bit identical to the sequential one at every worker count
+// (pinned by TestParallelStepEquivalence) — the -workers flag changes
+// wall-clock time and nothing else. Sweeps split GOMAXPROCS
+// automatically: wide load×seed grids parallelize across runs, narrow
+// (paper-scale) grids shard inside each run.
 package cbar

@@ -275,6 +275,69 @@ func TestGroupDirtyReentrantMark(t *testing.T) {
 	}
 }
 
+// TestGroupDirtySharded: a sharded set must behave exactly like the
+// single-lane set — ascending deduplicated drains, re-entrant marks kept
+// — while routing each group's marks through its own lane (which is what
+// lets shard workers mark concurrently without locks), including under
+// concurrent per-lane marking with the race detector watching.
+func TestGroupDirtySharded(t *testing.T) {
+	d := NewGroupDirty(8)
+	d.Shard(2, func(g int) int { return g / 4 }) // groups 0-3 lane 0, 4-7 lane 1
+	d.Mark(5)
+	d.Mark(1)
+	d.Mark(5) // deduplicated
+	d.Mark(0)
+	if d.Len() != 3 || !d.Marked(5) || !d.Marked(1) || !d.Marked(0) {
+		t.Fatalf("membership wrong: len=%d", d.Len())
+	}
+	var got []int32
+	d.Drain(func(g int32) {
+		got = append(got, g)
+		if g == 0 {
+			d.Mark(7) // re-entrant mark lands in the next drain
+		}
+	})
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 5 {
+		t.Fatalf("drain order %v, want [0 1 5]", got)
+	}
+	if d.Len() != 1 || !d.Marked(7) {
+		t.Fatal("re-entrant mark lost")
+	}
+	d.Drain(func(int32) {})
+
+	// Concurrent marking from distinct lanes is the sharded contract.
+	done := make(chan struct{}, 2)
+	for lane := 0; lane < 2; lane++ {
+		go func(lane int) {
+			for i := 0; i < 4; i++ {
+				d.Mark(int32(lane*4 + i))
+			}
+			done <- struct{}{}
+		}(lane)
+	}
+	<-done
+	<-done
+	got = got[:0]
+	d.Drain(func(g int32) { got = append(got, g) })
+	if len(got) != 8 {
+		t.Fatalf("concurrent marks: drained %v, want all 8 groups", got)
+	}
+	for i, g := range got {
+		if g != int32(i) {
+			t.Fatalf("concurrent marks: drained %v, want ascending 0..7", got)
+		}
+	}
+}
+
+func TestGroupDirtyShardRejectsBadLane(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range lane not rejected")
+		}
+	}()
+	NewGroupDirty(4).Shard(2, func(g int) int { return 5 })
+}
+
 func TestECtNBindDirtyMarksOnMutation(t *testing.T) {
 	d := NewGroupDirty(3)
 	e := NewECtN(4)

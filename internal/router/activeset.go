@@ -12,6 +12,10 @@ import "slices"
 type activeSet struct {
 	ids []int32
 	in  []bool
+	// base offsets the in-set flags: the set covers ids [base,
+	// base+len(in)), so a shard's sets cost memory proportional to the
+	// shard, not the topology.
+	base int32
 	// sortedLen is the length of the already-sorted prefix: everything
 	// the last sorted() call ordered, minus nothing — compaction via
 	// setLive preserves order, so only ids appended since then (the
@@ -19,17 +23,21 @@ type activeSet struct {
 	sortedLen int
 }
 
-func newActiveSet(n int) activeSet {
-	return activeSet{in: make([]bool, n)}
+// newActiveSet returns an empty set over the id range [lo, hi).
+func newActiveSet(lo, hi int32) activeSet {
+	return activeSet{base: lo, in: make([]bool, hi-lo)}
 }
 
 // add marks id active. Duplicate adds are cheap no-ops.
 func (s *activeSet) add(id int32) {
-	if !s.in[id] {
-		s.in[id] = true
+	if !s.in[id-s.base] {
+		s.in[id-s.base] = true
 		s.ids = append(s.ids, id)
 	}
 }
+
+// has reports whether id is currently in the set (invariant checks).
+func (s *activeSet) has(id int32) bool { return s.in[id-s.base] }
 
 // sorted orders the pending ids ascending and returns them. The caller
 // scans the result, keeps live ids by compacting in place (the returned
@@ -60,7 +68,7 @@ func (s *activeSet) sorted() []int32 {
 
 // drop clears id's in-set flag; the caller is responsible for removing it
 // from the slice (by not copying it during compaction).
-func (s *activeSet) drop(id int32) { s.in[id] = false }
+func (s *activeSet) drop(id int32) { s.in[id-s.base] = false }
 
 // setLive installs the compacted live prefix produced by a scan.
 // Compaction preserves order, so the whole slice stays sorted.

@@ -97,7 +97,7 @@ func (r *Router) grant(port, vc, out int) {
 	}
 
 	// Header reaches the output buffer after the router pipeline.
-	r.net.schedule(now+int64(cfg.PipelineLatency),
+	r.net.scheduleFrom(r.shard, now+int64(cfg.PipelineLatency),
 		event{kind: evPipeDone, router: int32(r.ID), port: int16(out), vc: int8(outVC), pkt: p})
 
 	// The tail leaves the input buffer once it has both arrived
@@ -108,7 +108,7 @@ func (r *Router) grant(port, vc, out int) {
 	if tail <= p.TailArrive {
 		tail = p.TailArrive + 1
 	}
-	r.net.schedule(tail,
+	r.net.scheduleFrom(r.shard, tail,
 		event{kind: evTailLeave, router: int32(r.ID), port: int16(port), vc: int8(vc), pkt: p})
 
 	r.rrVC[port] = vc
@@ -141,14 +141,14 @@ func (r *Router) linkPhase() {
 		size := int64(e.pkt.Size)
 		o.linkFreeAt = now + size
 		o.BusyCycles += size
-		r.net.schedule(now+size,
+		r.net.scheduleFrom(r.shard, now+size,
 			event{kind: evOutFree, router: int32(r.ID), port: out, size: e.pkt.Size})
 		if o.kind == Injection {
 			// Ejection channel: the packet is consumed by the node.
-			r.net.schedule(now+size,
+			r.net.scheduleFrom(r.shard, now+size,
 				event{kind: evDeliver, router: int32(r.ID), port: out, pkt: e.pkt})
 		} else {
-			r.net.schedule(now+o.latency,
+			r.net.scheduleFrom(r.shard, now+o.latency,
 				event{kind: evHeadArrive, router: o.peerRouter, port: o.peerPort, vc: e.vc, pkt: e.pkt})
 		}
 	}

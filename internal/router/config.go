@@ -16,7 +16,10 @@
 // staged output work, in the same ascending-id order as a full scan, so
 // per-cycle cost follows traffic rather than topology size while results
 // stay cycle-for-cycle identical to the full scan (Network.FullScan;
-// see the equivalence tests).
+// see the equivalence tests). With Config.Workers > 1 each cycle's
+// phases additionally fan out over group-contiguous shards with
+// deterministic barriers and mailboxes, bit-identically to sequential
+// stepping (see parallel.go).
 package router
 
 import (
@@ -67,6 +70,13 @@ type Config struct {
 	// generation stalls (source throttling). This bounds memory beyond
 	// the saturation point without affecting sub-saturation results.
 	NICQueuePackets int
+
+	// Workers is the number of shard workers Step fans each cycle out
+	// over (routers are partitioned by group into contiguous shards;
+	// see parallel.go). 0 and 1 both mean sequential stepping; values
+	// above the group count are clamped to it. Results are
+	// cycle-for-cycle identical at every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the Table I configuration for the given topology
@@ -123,11 +133,29 @@ func (c Config) Validate() error {
 	if c.PipelineLatency < 1 {
 		return fmt.Errorf("router: pipeline latency %d < 1", c.PipelineLatency)
 	}
+	// A packet's tail must leave its upstream input queue no later than
+	// its head arrives downstream (tail-leave at grant + serialization,
+	// head-arrive at grant + pipeline + link latency). A shorter path
+	// would have the packet resident in two input queues at once, which
+	// the per-queue transient state on the Packet struct (HeadSeen,
+	// CountedPort/CountedLink, Granted) does not model — the contention
+	// counters corrupt. Reject instead of simulating garbage.
+	if min := c.PipelineLatency + c.LatencyLocal; min < c.PacketSize {
+		return fmt.Errorf("router: PipelineLatency+LatencyLocal (%d) must cover the packet serialization time (%d phits)",
+			min, c.PacketSize)
+	}
+	if min := c.PipelineLatency + c.LatencyGlobal; min < c.PacketSize {
+		return fmt.Errorf("router: PipelineLatency+LatencyGlobal (%d) must cover the packet serialization time (%d phits)",
+			min, c.PacketSize)
+	}
 	if c.Speedup < 1 {
 		return fmt.Errorf("router: speedup %d < 1", c.Speedup)
 	}
 	if c.NICQueuePackets < 1 {
 		return fmt.Errorf("router: NIC queue %d < 1", c.NICQueuePackets)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("router: workers %d < 0", c.Workers)
 	}
 	return nil
 }

@@ -50,8 +50,12 @@ func (n *nic) push(p *Packet) { n.q.push(p) }
 func (n *nic) pop() *Packet   { return n.q.pop() }
 
 // Network is a complete simulated Dragonfly: routers, NICs, the event
-// calendar and cycle loop. A Network is single-goroutine; parallelism in
-// experiments comes from running independent Networks concurrently.
+// calendar and cycle loop. With Config.Workers <= 1 a Network is
+// single-goroutine; with Workers > 1 each Step fans the per-cycle phases
+// out over shard worker goroutines (see parallel.go), but Step itself
+// must still be called from one goroutine, and between Steps the network
+// is quiescent. Parallelism across experiments comes from running
+// independent Networks concurrently.
 type Network struct {
 	Cfg  Config
 	Topo *topology.Dragonfly
@@ -64,30 +68,31 @@ type Network struct {
 	now  int64
 	seed uint64
 
-	ring [][]event
 	mask int64
 
 	pktID uint64
 
-	// Active-set scheduler state: dirty-lists of NICs with backlog,
-	// routers with unrouted head packets and routers with staged output
-	// work. Step iterates these instead of every component, so per-cycle
-	// cost scales with traffic rather than topology size.
-	nicActive   activeSet
-	routeActive activeSet
-	linkActive  activeSet
-	// allocList is rebuilt every cycle: the routers whose routePhase
-	// registered at least one allocation request.
-	allocList []*Router
+	// Shard state. Routers (and their NICs) are partitioned into
+	// `workers` contiguous blocks of whole groups; each shard owns the
+	// calendar-ring slice, active sets and mailboxes for its block. With
+	// workers == 1 there is exactly one shard and stepping is the
+	// sequential active-set loop over it.
+	workers int
+	shards  []netShard
+	// shardOf maps a router id to its owning shard.
+	shardOf []int16
 
 	// freePkts recycles delivered packets, eliminating the steady-state
-	// allocation per Inject.
+	// allocation per Inject. It is touched only at sequential points
+	// (Inject between cycles, delivery replay at the handle barrier).
 	freePkts []*Packet
 
 	// FullScan, when true, makes Step use the original O(routers+nodes)
 	// full-scan loop instead of the active-set scheduler. The two modes
 	// are cycle-for-cycle identical (the equivalence tests pin this); the
 	// flag exists for those tests and for debugging scheduler suspicions.
+	// It applies only to sequential stepping (Workers <= 1) and is
+	// ignored by the shard-parallel stepper.
 	FullScan bool
 
 	// Aggregate counters, maintained by the fabric.
@@ -98,7 +103,13 @@ type Network struct {
 	InFlight       int64
 
 	// OnDeliver, when non-nil, observes every delivered packet at its
-	// delivery cycle (tail consumed by the destination node).
+	// delivery cycle (tail consumed by the destination node). Deliveries
+	// are collected per shard during event handling and replayed at the
+	// handle barrier in ascending destination order — which is also the
+	// order the events sit in the calendar bucket — so the callback
+	// sequence is bit-identical at every worker count. The callback must
+	// treat the network as read-only and may retain the packet's fields
+	// only for the duration of the call.
 	OnDeliver func(p *Packet, now int64)
 }
 
@@ -117,18 +128,63 @@ func Build(cfg Config, alg Algorithm, seed uint64) (*Network, error) {
 	}
 	n := &Network{Cfg: cfg, Topo: topo, Alg: alg, seed: seed}
 
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > topo.Groups {
+		workers = topo.Groups
+	}
+	if workers > 1 {
+		// Cross-shard packet handoffs happen only over global links
+		// (local links never leave a group, and shards are whole
+		// groups). The shard stepper relies on the upstream tail-leave
+		// strictly preceding the downstream head-arrival, which holds
+		// exactly when the pipeline plus the link latency exceed the
+		// packet serialization time.
+		if cfg.PipelineLatency+cfg.LatencyGlobal <= cfg.PacketSize {
+			return nil, fmt.Errorf(
+				"router: workers %d needs PipelineLatency+LatencyGlobal (%d) > PacketSize (%d) so cross-shard handoffs are barrier-ordered",
+				workers, cfg.PipelineLatency+cfg.LatencyGlobal, cfg.PacketSize)
+		}
+	}
+	n.workers = workers
+
 	horizon := max64(int64(cfg.LatencyGlobal), int64(cfg.LatencyLocal)) +
 		int64(cfg.PipelineLatency) + int64(cfg.PacketSize) + 8
 	ringSize := int64(1)
 	for ringSize < horizon {
 		ringSize <<= 1
 	}
-	n.ring = make([][]event, ringSize)
 	n.mask = ringSize - 1
+
+	n.shards = make([]netShard, workers)
+	n.shardOf = make([]int16, topo.Routers)
+	for s := range n.shards {
+		sh := &n.shards[s]
+		sh.id = int32(s)
+		sh.groupLo = int32(s * topo.Groups / workers)
+		sh.groupHi = int32((s + 1) * topo.Groups / workers)
+		sh.routerLo = sh.groupLo * int32(topo.A)
+		sh.routerHi = sh.groupHi * int32(topo.A)
+		sh.nodeLo = sh.routerLo * int32(topo.P)
+		sh.nodeHi = sh.routerHi * int32(topo.P)
+		sh.ring = make([][]event, ringSize)
+		sh.nicActive = newActiveSet(sh.nodeLo, sh.nodeHi)
+		sh.routeActive = newActiveSet(sh.routerLo, sh.routerHi)
+		sh.linkActive = newActiveSet(sh.routerLo, sh.routerHi)
+		if workers > 1 {
+			sh.outbox = make([][]timedEvent, workers)
+		}
+		for r := sh.routerLo; r < sh.routerHi; r++ {
+			n.shardOf[r] = int16(s)
+		}
+	}
 
 	n.Routers = make([]*Router, topo.Routers)
 	for id := range n.Routers {
 		n.Routers[id] = newRouter(id, n)
+		n.Routers[id].shard = &n.shards[n.shardOf[id]]
 	}
 	n.groups = make([][]*Router, topo.Groups)
 	for g := range n.groups {
@@ -146,9 +202,6 @@ func Build(cfg Config, alg Algorithm, seed uint64) (*Network, error) {
 	for i := range n.nics {
 		n.nics[i].q.shrinkCap = nicShrink
 	}
-	n.nicActive = newActiveSet(topo.Nodes)
-	n.routeActive = newActiveSet(topo.Routers)
-	n.linkActive = newActiveSet(topo.Routers)
 	alg.Attach(n)
 	return n, nil
 }
@@ -173,6 +226,18 @@ func (n *Network) Group(g int) []*Router { return n.groups[g] }
 // NICBacklog returns the number of packets waiting in node i's NIC queue.
 func (n *Network) NICBacklog(i int) int { return n.nics[i].len() }
 
+// Workers returns the number of shard workers stepping this network
+// (1 = sequential).
+func (n *Network) Workers() int { return n.workers }
+
+// ShardOfGroup returns the worker shard that owns group g. Algorithm
+// state that is mutated from per-router hooks and aggregated globally
+// (e.g. the ECtN dirty-group set) uses this to keep its mutation paths
+// shard-local.
+func (n *Network) ShardOfGroup(g int) int {
+	return int(n.shardOf[g*n.Topo.A])
+}
+
 // portKind classifies a port index using the topology layout.
 func portKind(t *topology.Dragonfly, port int) PortKind {
 	switch {
@@ -188,7 +253,8 @@ func portKind(t *topology.Dragonfly, port int) PortKind {
 // Inject offers a new packet from node src to node dst at the current
 // cycle. It reports false when the source NIC queue is full (the caller —
 // the traffic process — is expected to stall, modeling source throttling
-// past saturation).
+// past saturation). Inject is a sequential entry point: it must not be
+// called while a Step is in progress.
 func (n *Network) Inject(src, dst int) bool {
 	q := &n.nics[src]
 	if q.len() >= n.Cfg.NICQueuePackets {
@@ -217,22 +283,34 @@ func (n *Network) Inject(src, dst int) bool {
 	}
 	n.pktID++
 	q.push(p)
-	n.nicActive.add(int32(src))
+	n.Routers[n.Topo.RouterOfNode(src)].shard.nicActive.add(int32(src))
 	n.NumGenerated++
 	n.InFlight++
 	return true
 }
 
-// schedule appends an event strictly in the future.
-func (n *Network) schedule(cycle int64, ev event) {
+// scheduleFrom appends an event strictly in the future, generated while
+// servicing shard src. An event targeting a router of the same shard
+// goes straight onto that shard's calendar ring; a cross-shard event is
+// appended to the (src, dst) mailbox instead and drained into dst's ring
+// at the cycle barrier, in ascending (source shard, generation order) —
+// see parallel.go. With one worker every event is same-shard and the
+// path is the original direct ring append.
+func (n *Network) scheduleFrom(src *netShard, cycle int64, ev event) {
 	if cycle <= n.now {
 		panic(fmt.Sprintf("router: scheduling event kind %d at cycle %d <= now %d", ev.kind, cycle, n.now))
 	}
 	if cycle-n.now > n.mask {
 		panic(fmt.Sprintf("router: event horizon exceeded: +%d cycles > ring %d", cycle-n.now, n.mask+1))
 	}
+	if n.workers > 1 {
+		if t := n.shardOf[ev.router]; int32(t) != src.id {
+			src.outbox[t] = append(src.outbox[t], timedEvent{cycle: cycle, ev: ev})
+			return
+		}
+	}
 	idx := cycle & n.mask
-	n.ring[idx] = append(n.ring[idx], ev)
+	src.ring[idx] = append(src.ring[idx], ev)
 }
 
 // Step advances the simulation by one cycle: scheduled events, the
@@ -244,27 +322,37 @@ func (n *Network) schedule(cycle int64, ev event) {
 // of a cycle is proportional to traffic, not topology size. The phase
 // barriers and the per-phase ascending-id visit order are identical to
 // the original full scan, which remains available behind FullScan.
+// With Workers > 1 the phases run sharded across worker goroutines
+// (stepParallel); the result is cycle-for-cycle identical to sequential
+// stepping — see parallel.go for the determinism argument.
 func (n *Network) Step() {
+	if n.workers > 1 {
+		n.stepParallel()
+		return
+	}
+	sh := &n.shards[0]
 	idx := n.now & n.mask
-	bucket := n.ring[idx]
+	bucket := sh.ring[idx]
 	for i := range bucket {
 		n.handle(&bucket[i])
 	}
-	n.ring[idx] = bucket[:0]
+	sh.ring[idx] = bucket[:0]
+	n.replayDeliveries()
 
 	n.Alg.BeginCycle(n)
 
 	if n.FullScan {
 		n.stepFull()
 	} else {
-		n.stepActive()
+		n.stepShard(sh)
 	}
 	n.now++
 }
 
 // stepFull is the original full-scan cycle loop: every NIC, every router,
 // every phase, regardless of activity. Kept for the cycle-exactness
-// equivalence tests and as the reference semantics.
+// equivalence tests and as the reference semantics (sequential mode
+// only).
 func (n *Network) stepFull() {
 	for i := range n.nics {
 		n.nicDrain(i)
@@ -282,59 +370,67 @@ func (n *Network) stepFull() {
 	}
 }
 
-// stepActive services only the active sets. Stale entries (drained NICs,
+// stepShard services one shard's active sets through the NIC-drain,
+// routing, allocation and link phases. Stale entries (drained NICs,
 // routers whose heads were all granted, emptied output stages) are
 // pruned lazily as each list is scanned; activation happens at the
 // mutation points (Inject, event handling, nicDrain). Scans compact the
 // sorted id slice in place, so a steady-state cycle allocates nothing.
-func (n *Network) stepActive() {
-	nics := n.nicActive.sorted()
+//
+// No phase reads or writes state outside the shard (routing decisions
+// consult only the deciding router and its own group's broadcast state;
+// allocation and link serialization touch only the router's own ports;
+// cross-shard effects travel as mailboxed events), so under parallel
+// stepping the shards run this function concurrently without internal
+// barriers.
+func (n *Network) stepShard(sh *netShard) {
+	nics := sh.nicActive.sorted()
 	nicLive := nics[:0]
 	for _, id := range nics {
 		if n.nics[id].len() == 0 {
-			n.nicActive.drop(id)
+			sh.nicActive.drop(id)
 			continue
 		}
 		nicLive = append(nicLive, id)
 		n.nicDrain(int(id))
 	}
-	n.nicActive.setLive(nicLive)
+	sh.nicActive.setLive(nicLive)
 
-	n.allocList = n.allocList[:0]
-	routers := n.routeActive.sorted()
+	sh.allocList = sh.allocList[:0]
+	routers := sh.routeActive.sorted()
 	routeLive := routers[:0]
 	for _, id := range routers {
 		r := n.Routers[id]
 		if r.unrouted == 0 {
-			n.routeActive.drop(id)
+			sh.routeActive.drop(id)
 			continue
 		}
 		routeLive = append(routeLive, id)
 		r.routePhase()
 		if len(r.reqPorts) > 0 {
-			n.allocList = append(n.allocList, r)
+			sh.allocList = append(sh.allocList, r)
 		}
 	}
-	n.routeActive.setLive(routeLive)
+	sh.routeActive.setLive(routeLive)
 
 	for it := 0; it < n.Cfg.Speedup; it++ {
-		for _, r := range n.allocList {
+		for _, r := range sh.allocList {
 			r.allocate()
 		}
 	}
 
-	links := n.linkActive.sorted()
+	links := sh.linkActive.sorted()
 	linkLive := links[:0]
 	for _, id := range links {
 		r := n.Routers[id]
 		if r.staged == 0 {
-			n.linkActive.drop(id)
+			sh.linkActive.drop(id)
 			continue
 		}
 		linkLive = append(linkLive, id)
 		r.linkPhase()
 	}
-	n.linkActive.setLive(linkLive)
+	sh.linkActive.setLive(linkLive)
 }
 
 // Run advances the simulation by `cycles` cycles.
@@ -377,7 +473,7 @@ func (n *Network) nicDrain(i int) {
 	if newHead {
 		ip.unrouted++
 		r.unrouted++
-		n.routeActive.add(int32(r.ID))
+		r.shard.routeActive.add(int32(r.ID))
 	}
 	q.linkFreeAt = n.now + int64(size)
 	n.Alg.OnArrive(r, p, port, best)
@@ -387,7 +483,11 @@ func (n *Network) nicDrain(i int) {
 // points of the active-set scheduler: a head arrival or an exposed next
 // head puts its router on the route list, staged output work puts the
 // router on the link list, and returning credits or freed output space
-// re-arm a router that may have been blocked on them.
+// re-arm a router that may have been blocked on them. Every mutation is
+// confined to the target router's shard (activation flags, buffer and
+// credit state, algorithm hook state keyed by the router or its group);
+// deliveries are collected on the shard and replayed at the handle
+// barrier (replayDeliveries).
 func (n *Network) handle(ev *event) {
 	switch ev.kind {
 	case evHeadArrive:
@@ -408,7 +508,7 @@ func (n *Network) handle(ev *event) {
 		if newHead {
 			ip.unrouted++
 			r.unrouted++
-			n.routeActive.add(ev.router)
+			r.shard.routeActive.add(ev.router)
 		}
 		n.Alg.OnArrive(r, p, int(ev.port), int(ev.vc))
 
@@ -427,13 +527,13 @@ func (n *Network) handle(ev *event) {
 			// (only heads are), so it needs routing.
 			ip.unrouted++
 			r.unrouted++
-			n.routeActive.add(ev.router)
+			r.shard.routeActive.add(ev.router)
 		}
 		n.Alg.OnDequeue(r, p, int(ev.port), int(ev.vc))
 		if ip.upRouter >= 0 {
 			up := n.Routers[ip.upRouter]
 			lat := up.out[ip.upPort].latency
-			n.schedule(n.now+lat,
+			n.scheduleFrom(r.shard, n.now+lat,
 				event{kind: evCredit, router: ip.upRouter, port: ip.upPort, vc: ev.vc, size: p.Size})
 		}
 
@@ -445,33 +545,61 @@ func (n *Network) handle(ev *event) {
 		// set (unrouted > 0 prevents pruning), so this add is usually a
 		// flag-check no-op; it is kept as insurance against any future
 		// scheduler that prunes more aggressively.
-		n.routeActive.add(ev.router)
+		r.shard.routeActive.add(ev.router)
 
 	case evPipeDone:
 		r := n.Routers[ev.router]
 		r.out[ev.port].qPush(outEntry{pkt: ev.pkt, vc: ev.vc})
 		r.staged++
 		r.noteStaged(ev.port)
-		n.linkActive.add(ev.router)
+		r.shard.linkActive.add(ev.router)
 
 	case evOutFree:
 		r := n.Routers[ev.router]
 		r.out[ev.port].outFree += ev.size
 		r.occDelta(int(ev.port), -ev.size)
-		n.routeActive.add(ev.router)
+		r.shard.routeActive.add(ev.router)
 
 	case evDeliver:
-		n.NumDelivered++
-		n.DeliveredPhits += uint64(ev.pkt.Size)
-		n.InFlight--
-		if n.OnDeliver != nil {
-			// The packet's fields are stable for the duration of the
-			// callback; after it returns the packet may be recycled.
-			n.OnDeliver(ev.pkt, n.now)
+		// Counters, the OnDeliver observer and freelist recycling run at
+		// the handle barrier (replayDeliveries), keeping the handle phase
+		// free of global mutations. Delivery events of one cycle all come
+		// from the same earlier linkPhase, so per-shard buckets hold them
+		// in ascending destination order and the shard-order replay
+		// reproduces the sequential callback order exactly.
+		sh := n.Routers[ev.router].shard
+		sh.delivered = append(sh.delivered, ev.pkt)
+	}
+}
+
+// replayDeliveries applies the deliveries collected during the handle
+// phase, in ascending shard order: aggregate counters, the OnDeliver
+// observer and freelist recycling. It runs at a sequential point (after
+// the handle barrier), so observers may be arbitrary single-threaded
+// code.
+func (n *Network) replayDeliveries() {
+	for s := range n.shards {
+		sh := &n.shards[s]
+		if len(sh.delivered) == 0 {
+			continue
 		}
-		if len(n.freePkts) < maxFreePackets {
-			n.freePkts = append(n.freePkts, ev.pkt)
+		for _, p := range sh.delivered {
+			n.NumDelivered++
+			n.DeliveredPhits += uint64(p.Size)
+			n.InFlight--
+			if n.OnDeliver != nil {
+				// The packet's fields are stable for the duration of the
+				// callback; after it returns the packet may be recycled.
+				n.OnDeliver(p, n.now)
+			}
+			if len(n.freePkts) < maxFreePackets {
+				n.freePkts = append(n.freePkts, p)
+			}
 		}
+		for i := range sh.delivered {
+			sh.delivered[i] = nil
+		}
+		sh.delivered = sh.delivered[:0]
 	}
 }
 
@@ -480,10 +608,14 @@ func (n *Network) handle(ev *event) {
 // occupancy rises strictly above it, fn(false) when it falls back to or
 // below it. The callback fires at the mutation instant (allocation
 // grant, credit return, output-buffer free), not at cycle boundaries, so
-// it must be cheap and must not mutate fabric state. No initial callback
-// is made; the caller derives the starting state from Occupancy (zero at
-// construction). This is the change-driven notification primitive the
-// event-driven algorithms (PB saturation flags) are built on.
+// it must be cheap and must not mutate fabric state. Under parallel
+// stepping the mutation points run on the owning router's shard worker,
+// so the callback must confine its writes to state owned by that
+// router's shard (per-group broadcast state qualifies: a group never
+// spans shards). No initial callback is made; the caller derives the
+// starting state from Occupancy (zero at construction). This is the
+// change-driven notification primitive the event-driven algorithms (PB
+// saturation flags) are built on.
 func (n *Network) WatchOccupancy(router, port int, threshold int32, fn func(above bool)) {
 	o := &n.Routers[router].out[port]
 	o.watchers = append(o.watchers, occWatcher{threshold: threshold, fn: fn})
@@ -492,7 +624,10 @@ func (n *Network) WatchOccupancy(router, port int, threshold int32, fn func(abov
 // CheckInvariants validates credit/buffer accounting across the whole
 // network plus packet conservation, and cross-checks any incremental
 // algorithm state (StateChecker). Tests call it liberally; it is not
-// on the simulation fast path.
+// on the simulation fast path. It must be called between Steps (the
+// network is quiescent then, at any worker count); after a parallel
+// cycle it additionally verifies that every cross-shard mailbox was
+// drained at the cycle barrier.
 func (n *Network) CheckInvariants() error {
 	for _, r := range n.Routers {
 		if err := r.checkInvariants(); err != nil {
@@ -508,8 +643,22 @@ func (n *Network) CheckInvariants() error {
 		return fmt.Errorf("router: negative in-flight count %d", n.InFlight)
 	}
 	for i := range n.nics {
-		if n.nics[i].len() > 0 && !n.nicActive.in[i] {
-			return fmt.Errorf("router: NIC %d has backlog %d but is not in the NIC set", i, n.nics[i].len())
+		if n.nics[i].len() > 0 {
+			sh := n.Routers[n.Topo.RouterOfNode(i)].shard
+			if !sh.nicActive.has(int32(i)) {
+				return fmt.Errorf("router: NIC %d has backlog %d but is not in shard %d's NIC set", i, n.nics[i].len(), sh.id)
+			}
+		}
+	}
+	for s := range n.shards {
+		sh := &n.shards[s]
+		if len(sh.delivered) != 0 {
+			return fmt.Errorf("router: shard %d holds %d unreplayed deliveries between cycles", s, len(sh.delivered))
+		}
+		for t, mb := range sh.outbox {
+			if len(mb) != 0 {
+				return fmt.Errorf("router: mailbox %d->%d holds %d undrained events between cycles", s, t, len(mb))
+			}
 		}
 	}
 	if n.NumGenerated-n.NumDelivered != uint64(n.InFlight) {

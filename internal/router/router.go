@@ -86,6 +86,10 @@ func (o *outPort) qPop() outEntry   { return o.q.pop() }
 type Router struct {
 	ID  int
 	net *Network
+	// shard is the network shard that owns this router: its calendar
+	// ring, active sets and outgoing mailboxes. With one worker every
+	// router shares the single shard.
+	shard *netShard
 
 	in  []inPort
 	out []outPort
@@ -400,7 +404,7 @@ func (r *Router) checkInvariants() error {
 	}
 	// A router with routable work must be on the route set's radar
 	// (in-set flags are cleared only when unrouted drops to zero).
-	if totUnrouted > 0 && !r.net.routeActive.in[r.ID] {
+	if totUnrouted > 0 && !r.shard.routeActive.has(int32(r.ID)) {
 		return fmt.Errorf("router %d: %d unrouted heads but not in route set", r.ID, totUnrouted)
 	}
 	var stagedQ int
@@ -413,7 +417,7 @@ func (r *Router) checkInvariants() error {
 	if stagedQ != r.staged {
 		return fmt.Errorf("router %d: staged %d but output queues hold %d", r.ID, r.staged, stagedQ)
 	}
-	if stagedQ > 0 && !r.net.linkActive.in[r.ID] {
+	if stagedQ > 0 && !r.shard.linkActive.has(int32(r.ID)) {
 		return fmt.Errorf("router %d: %d staged packets but not in link set", r.ID, stagedQ)
 	}
 	return nil

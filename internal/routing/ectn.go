@@ -65,6 +65,13 @@ func (a *ectnAlg) Attach(n *router.Network) {
 	if !a.fullCombine {
 		a.dirty = core.NewGroupDirty(t.Groups)
 		a.scratch = make([]int32, t.GlobalLinks)
+		if n.Workers() > 1 {
+			// Under shard-parallel stepping the partial-counter hooks
+			// run on each group's owning shard worker; per-shard mark
+			// lanes keep the dirty marks lock-free and race-free while
+			// BeginCycle's Drain stays at the sequential barrier.
+			a.dirty.Shard(n.Workers(), n.ShardOfGroup)
+		}
 	}
 	for g := 0; g < t.Groups; g++ {
 		members := n.Group(g)

@@ -26,6 +26,11 @@ type Budget struct {
 	Bucket          int64
 	// Loads is the offered-load grid of the steady-state sweeps.
 	Loads []float64
+	// Workers is the per-run shard worker count threaded into every
+	// simulation of the experiment (router.Config.Workers). 0 lets each
+	// entry point split GOMAXPROCS between its grid and intra-run
+	// sharding automatically; results are identical either way.
+	Workers int
 }
 
 // DefaultBudget returns a budget tuned to the scale: the paper's windows
@@ -146,8 +151,23 @@ func sweepSteady(s Scale, algos []routing.Algo, w Workload, loads []float64, b B
 	}
 	perJob := make([]SteadyResult, len(jobs))
 	perHist := make([]*stats.Histogram, len(jobs))
-	err := forEachTask(len(jobs), func(i int) error {
+	requested := b.Workers
+	if requested == 0 && len(algos) > 0 {
+		// Probe the mutated config for auto-shard eligibility (e.g. a
+		// mutate that grows PacketSize past the handoff-ordering bound
+		// must keep its runs sequential rather than fail Build).
+		probe := NewConfig(s.Params(), algos[0])
+		if mutate != nil {
+			mutate(&probe)
+		}
+		if !autoShardable(probe.Router) {
+			requested = 1
+		}
+	}
+	perRun, taskWorkers := planWorkers(requested, len(jobs))
+	err := forEachTaskN(len(jobs), taskWorkers, func(i int) error {
 		cfg := NewConfig(s.Params(), jobs[i].key.algo)
+		cfg.Router.Workers = perRun
 		if mutate != nil {
 			mutate(&cfg)
 		}
@@ -248,6 +268,7 @@ func runTransientFigure(s Scale, b Budget, w io.Writer, algos []routing.Algo, po
 	results := make([]TransientResult, len(algos))
 	for i, a := range algos {
 		cfg := NewConfig(s.Params(), a)
+		cfg.Router.Workers = b.Workers
 		if mutate != nil {
 			mutate(&cfg)
 		}
@@ -305,6 +326,7 @@ func runFig10(s Scale, b Budget, w io.Writer, workload Workload, ths []int32, re
 	for _, l := range b.Loads {
 		for _, th := range ths {
 			cfg := NewConfig(s.Params(), routing.Base)
+			cfg.Router.Workers = b.Workers
 			cfg.Opts.BaseTh = th
 			r, err := RunSteady(cfg, workload, l, b.Warmup, b.Measure, b.Seeds)
 			if err != nil {
@@ -314,6 +336,7 @@ func runFig10(s Scale, b Budget, w io.Writer, workload Workload, ths []int32, re
 		}
 		// Oblivious reference curve (MIN for UN, VAL for ADV).
 		refCfg := NewConfig(s.Params(), ref)
+		refCfg.Router.Workers = b.Workers
 		r, err := RunSteady(refCfg, workload, l, b.Warmup, b.Measure, b.Seeds)
 		if err != nil {
 			return err
@@ -337,6 +360,7 @@ func runFig10b(s Scale, b Budget, w io.Writer) error {
 
 func runVIA(s Scale, b Budget, w io.Writer) error {
 	cfg := NewConfig(s.Params(), routing.Base)
+	cfg.Router.Workers = b.Workers
 	got, err := MeanSaturatedContention(cfg, 0.95, b.Warmup, b.Measure/4, 1)
 	if err != nil {
 		return err

@@ -118,6 +118,35 @@ func BenchmarkStepPaperBurstyIdle(b *testing.B) {
 	benchStepWorkload(b, Paper, routing.Base, UN().WithBurst(50, 150, 0), 0.01)
 }
 
+// The worker benchmarks measure the shard-parallel stepper against the
+// sequential stepper at a loaded operating point (30% uniform load, the
+// acceptance regime of the parallel-stepper change): both run the exact
+// same cycles — the stepper is bit-identical at every worker count — so
+// the ratio is pure parallel speedup minus barrier cost. The Workers1
+// variants pin the same operating point on the sequential path so the
+// comparison lives inside one benchmark run.
+func benchStepWorkers(b *testing.B, s Scale, load float64, workers int) {
+	b.Helper()
+	net, inj, err := NewStepBenchWorkers(s, routing.Base, UN(), load, false, false, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen0 := net.NumGenerated
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Cycle()
+		net.Step()
+	}
+	if b.N > 1000 && net.NumGenerated == gen0 {
+		b.Fatal("no traffic generated during measurement")
+	}
+}
+
+func BenchmarkStepSmallWorkers1(b *testing.B) { benchStepWorkers(b, Small, 0.3, 1) }
+func BenchmarkStepSmallWorkers4(b *testing.B) { benchStepWorkers(b, Small, 0.3, 4) }
+func BenchmarkStepPaperWorkers1(b *testing.B) { benchStepWorkers(b, Paper, 0.3, 1) }
+func BenchmarkStepPaperWorkers4(b *testing.B) { benchStepWorkers(b, Paper, 0.3, 4) }
+
 // BenchmarkStepSmallBurstDrain measures the burst-then-drain regime: a
 // synchronized burst enters the NIC queues, then the network is stepped
 // until it fully drains. Most of those cycles have only a dwindling tail

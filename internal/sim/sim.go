@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"cbar/internal/router"
@@ -403,9 +404,15 @@ func RunSteady(c Config, w Workload, load float64, warmup, measure int64, seeds 
 }
 
 // SweepSteady measures a whole load grid. The load×seed grid is
-// flattened through one bounded worker pool (GOMAXPROCS workers), so a
-// sweep never oversubscribes the machine the way per-load pools would.
-// The returned slice is ordered like loads.
+// flattened through one bounded worker pool, so a sweep never
+// oversubscribes the machine the way per-load pools would. When the
+// grid is at least GOMAXPROCS wide, grid parallelism alone saturates
+// the machine and every run steps sequentially; a narrower grid (the
+// common paper-scale case: few loads, few seeds) spreads the idle cores
+// inside each run as shard workers (router.Config.Workers — results are
+// cycle-for-cycle identical at any worker count). An explicit
+// c.Router.Workers is respected instead of the automatic split. The
+// returned slice is ordered like loads.
 func SweepSteady(c Config, w Workload, loads []float64, warmup, measure int64, seeds int) ([]SteadyResult, error) {
 	if seeds < 1 {
 		seeds = 1
@@ -416,9 +423,16 @@ func SweepSteady(c Config, w Workload, loads []float64, warmup, measure int64, s
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("sim: empty load grid")
 	}
-	results := make([]SteadyResult, len(loads)*seeds)
-	hists := make([]*stats.Histogram, len(loads)*seeds)
-	err := forEachTask(len(loads)*seeds, func(k int) error {
+	tasks := len(loads) * seeds
+	requested := c.Router.Workers
+	if requested == 0 && !autoShardable(c.Router) {
+		requested = 1
+	}
+	perRun, taskWorkers := planWorkers(requested, tasks)
+	c.Router.Workers = perRun
+	results := make([]SteadyResult, tasks)
+	hists := make([]*stats.Histogram, tasks)
+	err := forEachTaskN(tasks, taskWorkers, func(k int) error {
 		r, h, err := steadySeed(c, w, loads[k/seeds], warmup, measure, seedFor(k%seeds))
 		results[k], hists[k] = r, h
 		return err
@@ -521,7 +535,15 @@ func RunTransient(c Config, before, after Workload, load float64, warmup, pre, p
 	nBuckets := int((pre + post) / bucket)
 	latSeries := make([]*stats.TimeSeries, seeds)
 	misSeries := make([]*stats.TimeSeries, seeds)
-	err := forEachTask(seeds, func(i int) error {
+	// Like SweepSteady: seed-grid parallelism when there are enough
+	// seeds, intra-run shard workers for the idle cores when not.
+	requested := c.Router.Workers
+	if requested == 0 && !autoShardable(c.Router) {
+		requested = 1
+	}
+	perRun, taskWorkers := planWorkers(requested, seeds)
+	c.Router.Workers = perRun
+	err := forEachTaskN(seeds, taskWorkers, func(i int) error {
 		seed := uint64(i)*0x2000003 + 17
 		net, err := BuildNetwork(c, seed)
 		if err != nil {
@@ -586,14 +608,75 @@ func RunTransient(c Config, before, after Workload, load float64, warmup, pre, p
 	return res, nil
 }
 
+// autoShardable reports whether a run with this router config may be
+// sharded by the automatic worker split: router.Build rejects Workers >
+// 1 for configs whose cross-shard packet handoffs would not be
+// barrier-ordered (PipelineLatency + LatencyGlobal must exceed
+// PacketSize), so auto mode must keep such configs sequential — they
+// were valid sequential sweeps before sharding existed and must stay
+// so on every core count. An explicit Workers > 1 request still
+// surfaces the Build error, since the caller asked for the impossible.
+func autoShardable(rc router.Config) bool {
+	return rc.PipelineLatency+rc.LatencyGlobal > rc.PacketSize
+}
+
+// planWorkers splits GOMAXPROCS between grid tasks and intra-run shard
+// workers: a grid at least GOMAXPROCS wide keeps each run sequential
+// (grid parallelism already saturates the machine), a narrower grid
+// hands the idle cores to each run as shard workers. An explicit
+// requested count (> 0) is honored up to GOMAXPROCS — the sweep pool
+// never oversubscribes the machine, so a -workers request beyond the
+// core count is clamped (unlike a direct BuildNetwork, which takes the
+// config verbatim); the task pool is then sized so tasks × per-run
+// workers never exceeds GOMAXPROCS.
+func planWorkers(requested, tasks int) (perRun, taskWorkers int) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	perRun = requested
+	if perRun <= 0 {
+		perRun = maxProcs / tasks
+		if perRun < 1 {
+			perRun = 1
+		}
+	}
+	if perRun > maxProcs {
+		perRun = maxProcs
+	}
+	taskWorkers = maxProcs / perRun
+	if taskWorkers < 1 {
+		taskWorkers = 1
+	}
+	return perRun, taskWorkers
+}
+
 // forEachTask runs f(0..n-1) on up to GOMAXPROCS goroutines and returns
 // the first error. It is the one bounded worker pool every repeat/grid
 // entry point funnels through, so nested parallelism cannot multiply
 // into more than GOMAXPROCS concurrently-simulated networks.
 func forEachTask(n int, f func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
+	return forEachTaskN(n, runtime.GOMAXPROCS(0), f)
+}
+
+// forEachTaskN is forEachTask with an explicit worker-pool size (used
+// when each task itself runs shard workers, so the product stays within
+// GOMAXPROCS). A panicking task is recovered in its worker and
+// converted to an error carrying the panic value and stack, which —
+// like any task error — cancels the tasks not yet started and is
+// returned to the caller; sibling workers finish their current task and
+// exit rather than wedging mid-sweep.
+func forEachTaskN(n, workers int, f func(i int) error) error {
 	if workers > n {
 		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	run := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("sim: task %d panicked: %v\n%s", i, r, debug.Stack())
+			}
+		}()
+		return f(i)
 	}
 	var (
 		wg   sync.WaitGroup
@@ -614,7 +697,7 @@ func forEachTask(n int, f func(i int) error) error {
 				if bad || i >= n {
 					return
 				}
-				if err := f(i); err != nil {
+				if err := run(i); err != nil {
 					mu.Lock()
 					if ferr == nil {
 						ferr = err

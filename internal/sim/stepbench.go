@@ -32,8 +32,18 @@ func NewStepBench(s Scale, algo routing.Algo, load float64, fullScan, refScan bo
 // cost of the stateful calendar injector beside the Bernoulli fast
 // path at the same operating points.
 func NewStepBenchWorkload(s Scale, algo routing.Algo, w Workload, load float64, fullScan, refScan bool) (*router.Network, *traffic.Injector, error) {
+	return NewStepBenchWorkers(s, algo, w, load, fullScan, refScan, 1)
+}
+
+// NewStepBenchWorkers is NewStepBenchWorkload with an explicit shard
+// worker count, so the benchmark suite can pin the parallel stepper's
+// cycles/sec beside the sequential stepper at the same operating points
+// (the two are cycle-for-cycle identical, so every other knob is
+// comparable).
+func NewStepBenchWorkers(s Scale, algo routing.Algo, w Workload, load float64, fullScan, refScan bool, workers int) (*router.Network, *traffic.Injector, error) {
 	c := NewConfig(s.Params(), algo)
 	c.Opts.ReferenceScan = refScan
+	c.Router.Workers = workers
 	net, err := BuildNetwork(c, 1)
 	if err != nil {
 		return nil, nil, err

@@ -246,13 +246,31 @@ func ExperimentTitle(id string) (string, error) {
 // windows follow the scale's default budget; pass seeds > 0 to override
 // the repeat count.
 func RunExperiment(id string, s Scale, seeds int, w io.Writer) error {
+	return RunExperimentOpts(id, s, ExperimentOptions{Seeds: seeds}, w)
+}
+
+// ExperimentOptions overrides parts of an experiment's scale-default
+// budget. Zero values keep the defaults.
+type ExperimentOptions struct {
+	// Seeds overrides the repeat count per plotted point.
+	Seeds int
+	// Workers is the per-simulation shard worker count (Config.Workers
+	// semantics: 0 = automatic split between grid parallelism and
+	// intra-run sharding, 1 = sequential stepping). Results are
+	// identical at every worker count.
+	Workers int
+}
+
+// RunExperimentOpts is RunExperiment with budget overrides.
+func RunExperimentOpts(id string, s Scale, opt ExperimentOptions, w io.Writer) error {
 	e, ok := sim.FindExperiment(id)
 	if !ok {
 		return fmt.Errorf("cbar: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
 	b := sim.DefaultBudget(s.internal())
-	if seeds > 0 {
-		b.Seeds = seeds
+	if opt.Seeds > 0 {
+		b.Seeds = opt.Seeds
 	}
+	b.Workers = opt.Workers
 	return e.Run(s.internal(), b, w)
 }
