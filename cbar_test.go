@@ -69,6 +69,31 @@ func TestConfigInternalRejectsBadAlgo(t *testing.T) {
 	}
 }
 
+// TestNegativeOptionsRejected: zero-valued options take scale defaults,
+// but explicitly negative windows/repeats must surface validation
+// errors instead of being silently replaced (they used to default).
+func TestNegativeOptionsRejected(t *testing.T) {
+	c := NewConfig(Tiny, MIN)
+	if _, err := RunSteady(c, Uniform(), 0.1, SteadyOptions{Warmup: -5, Measure: 100, Seeds: 1}); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+	if _, err := RunSteady(c, Uniform(), 0.1, SteadyOptions{Measure: -100, Seeds: 1}); err == nil {
+		t.Fatal("negative measure accepted")
+	}
+	if _, err := Sweep(c, Uniform(), []float64{0.1}, SteadyOptions{Warmup: 10, Measure: 10, Seeds: -1}); err == nil {
+		t.Fatal("negative seeds accepted")
+	}
+	if _, err := RunSteady(c, Uniform(), 0.1, SteadyOptions{Warmup: 10, Measure: 10, Seeds: 1, Adaptive: true, CIRelWidth: 7}); err == nil {
+		t.Fatal("CI target >= 1 accepted")
+	}
+	if _, err := RunTransient(c, Uniform(), Adversarial(1), 0.2, TransientOptions{Warmup: 500, Pre: 100, Post: 5, Bucket: 10, Seeds: 1}); err == nil {
+		t.Fatal("bucket wider than post accepted")
+	}
+	if _, err := RunTransient(c, Uniform(), Adversarial(1), 0.2, TransientOptions{Warmup: 500, Pre: -2, Post: 200, Bucket: 10, Seeds: 1}); err == nil {
+		t.Fatal("negative pre accepted")
+	}
+}
+
 func TestTrafficNames(t *testing.T) {
 	if Uniform().Name() != "UN" {
 		t.Fatal("UN name")
@@ -298,13 +323,13 @@ func TestRunExperimentVIA(t *testing.T) {
 
 func TestSteadyOptionsDefaults(t *testing.T) {
 	c := NewConfig(Tiny, MIN)
-	o := SteadyOptions{}.withDefaults(c)
-	if o.Warmup <= 0 || o.Measure <= 0 || o.Seeds <= 0 {
-		t.Fatalf("defaults not applied: %+v", o)
+	b := SteadyOptions{}.budget(c)
+	if b.Warmup <= 0 || b.Measure <= 0 || b.Seeds <= 0 {
+		t.Fatalf("defaults not applied: %+v", b)
 	}
 	// Paper-scale configs get the paper budget.
-	op := SteadyOptions{}.withDefaults(NewConfig(Paper, MIN))
-	if op.Measure < o.Measure {
-		t.Fatalf("paper budget %d smaller than tiny %d", op.Measure, o.Measure)
+	bp := SteadyOptions{}.budget(NewConfig(Paper, MIN))
+	if bp.Measure < b.Measure {
+		t.Fatalf("paper budget %d smaller than tiny %d", bp.Measure, b.Measure)
 	}
 }

@@ -8,6 +8,15 @@
 // at several scales and loads; cycles/sec is the headline simulator speed
 // at that operating point. The burst benchmark measures a full
 // burst-then-drain episode rather than a single cycle.
+//
+// -compare turns the binary into a CI regression gate: it reruns the
+// step suite and diffs it against a committed baseline report,
+//
+//	go run ./cmd/bench -compare BENCH_step.json -ns-warn-only
+//
+// failing on allocs/op growth (hardware-independent, so always a hard
+// failure) and on >2.5x ns/op regressions (downgradable to GitHub
+// warning annotations with -ns-warn-only for noisy shared runners).
 package main
 
 import (
@@ -140,6 +149,96 @@ func burstDrainBench(cycles *float64) func(b *testing.B) {
 	}
 }
 
+// nsRegressionFactor is the ns/op ratio over baseline past which a step
+// benchmark counts as a perf regression. It is deliberately loose (the
+// baseline may come from different hardware than the gate run); the
+// allocs/op comparison is the tight one, since allocation counts are
+// hardware-independent.
+const nsRegressionFactor = 2.5
+
+// allocAllowance returns the allocs/op ceiling tolerated over a
+// baseline: exact-plus-one for the (deterministic) sequential
+// benchmarks' small counts, plus 10% headroom for the larger
+// scheduling-dependent counts of the shard-parallel benchmarks.
+func allocAllowance(base int64) int64 {
+	slack := base / 10
+	if slack < 1 {
+		slack = 1
+	}
+	return base + slack
+}
+
+// compareBaseline diffs the fresh measurements against a committed
+// baseline report and returns the process exit code. Allocs/op growth
+// always fails; ns/op regressions fail unless nsWarnOnly, which turns
+// them into GitHub warning annotations (shared CI runners make wall
+// time noisy, while allocation counts stay deterministic). Benchmarks
+// present on only one side are reported and skipped.
+func compareBaseline(path string, fresh Report, nsWarnOnly bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 2
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: parsing baseline %s: %v\n", path, err)
+		return 2
+	}
+	baseline := make(map[string]BenchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	fail := false
+	for _, cur := range fresh.Benchmarks {
+		b, ok := baseline[cur.Name]
+		if !ok {
+			fmt.Printf("%-26s new benchmark, no baseline — skipped\n", cur.Name)
+			continue
+		}
+		delete(baseline, cur.Name)
+		status := "ok"
+		if allowed := allocAllowance(b.AllocsPerOp); cur.AllocsPerOp > allowed {
+			status = "FAIL"
+			fail = true
+			fmt.Printf("::error title=allocs/op regression::%s allocs/op %d > baseline %d (allowed %d)\n",
+				cur.Name, cur.AllocsPerOp, b.AllocsPerOp, allowed)
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = cur.NsPerOp / b.NsPerOp
+		}
+		if ratio > nsRegressionFactor {
+			if nsWarnOnly {
+				if status == "ok" {
+					status = "warn"
+				}
+				fmt.Printf("::warning title=ns/op regression::%s ns/op %.0f is %.2fx baseline %.0f (> %.1fx)\n",
+					cur.Name, cur.NsPerOp, ratio, b.NsPerOp, nsRegressionFactor)
+			} else {
+				status = "FAIL"
+				fail = true
+				fmt.Printf("::error title=ns/op regression::%s ns/op %.0f is %.2fx baseline %.0f (> %.1fx)\n",
+					cur.Name, cur.NsPerOp, ratio, b.NsPerOp, nsRegressionFactor)
+			}
+		}
+		fmt.Printf("%-26s ns/op %9.0f vs %9.0f (%.2fx)  allocs/op %3d vs %3d  %s\n",
+			cur.Name, cur.NsPerOp, b.NsPerOp, ratio, cur.AllocsPerOp, b.AllocsPerOp, status)
+	}
+	for name := range baseline {
+		if name == "StepSmallBurstDrain" {
+			continue // excluded from compare runs by design
+		}
+		fmt.Printf("%-26s in baseline but not measured — skipped\n", name)
+	}
+	if fail {
+		fmt.Println("bench: regression gate FAILED")
+		return 1
+	}
+	fmt.Println("bench: regression gate passed")
+	return 0
+}
+
 func endToEnd(cycles int64) (EndToEnd, error) {
 	const load = 0.3
 	net, inj, err := sim.NewStepBench(sim.Small, routing.Base, load, false, false)
@@ -170,10 +269,20 @@ func endToEnd(cycles int64) (EndToEnd, error) {
 func main() {
 	out := flag.String("o", "BENCH_step.json", "output file (- for stdout)")
 	e2eCycles := flag.Int64("cycles", 20000, "end-to-end run length in cycles")
+	compare := flag.String("compare", "", "baseline BENCH_step.json to gate against: rerun the step suite and exit nonzero on allocs/op growth or a >2.5x ns/op regression instead of writing a report")
+	benchtime := flag.String("benchtime", "", "per-benchmark measurement time (default 1s). For -compare, keep it at the baseline's own benchtime: a much shorter window inflates allocs/op, since one-off amortized allocations (ring/active-set growth) stop averaging out over few iterations")
+	nsWarnOnly := flag.Bool("ns-warn-only", false, "with -compare: report ns/op regressions as GitHub warning annotations without failing (for noisy shared runners); allocs/op growth still fails")
+	testing.Init()
 	flag.Parse()
 	if *e2eCycles < 1 {
 		fmt.Fprintf(os.Stderr, "bench: -cycles %d must be >= 1\n", *e2eCycles)
 		os.Exit(2)
+	}
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
 	}
 
 	var burstCycles float64
@@ -221,6 +330,9 @@ func main() {
 
 	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, s := range suite {
+		if *compare != "" && s.name == "StepSmallBurstDrain" {
+			continue // composite op; ns/op is dominated by drain length, not Step cost
+		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", s.name)
 		r := testing.Benchmark(s.fn)
 		workers := s.workers
@@ -243,6 +355,10 @@ func main() {
 			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+
+	if *compare != "" {
+		os.Exit(compareBaseline(*compare, rep, *nsWarnOnly))
 	}
 
 	fmt.Fprintf(os.Stderr, "running end-to-end (%d cycles)...\n", *e2eCycles)

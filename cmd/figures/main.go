@@ -30,6 +30,9 @@ func main() {
 		scaleName = flag.String("scale", "small", "network scale: tiny|small|paper")
 		seeds     = flag.Int("seeds", 0, "repeats per point (0 = scale default)")
 		workers   = flag.Int("workers", 0, "shard workers per simulated network (0 = auto: shard runs across idle cores when the experiment grid is narrower than GOMAXPROCS, 1 = sequential stepping; results are identical at any count)")
+		adaptive  = flag.Bool("adaptive", false, "adaptive measurement for steady-state points: MSER warmup truncation + batch-means CI stopping + saturation short-circuit (statistically equivalent, much cheaper on converged points; transient traces keep fixed windows)")
+		ciRel     = flag.Float64("ci", 0, "adaptive: target relative 95% CI half-width (0 = 0.05)")
+		maxMeas   = flag.Int64("maxmeasure", 0, "adaptive: hard cap on measured cycles per seed (0 = 4x the scale's fixed window)")
 		outDir    = flag.String("out", "", "directory for CSV files (default: stdout)")
 	)
 	flag.Parse()
@@ -60,7 +63,10 @@ func main() {
 		die(err)
 		fmt.Fprintf(os.Stderr, "== %s: %s (scale %s)\n", id, title, scale)
 		start := time.Now()
-		opt := cbar.ExperimentOptions{Seeds: *seeds, Workers: *workers}
+		opt := cbar.ExperimentOptions{
+			Seeds: *seeds, Workers: *workers,
+			Adaptive: *adaptive, CIRelWidth: *ciRel, MaxMeasure: *maxMeas,
+		}
 		if *outDir == "" {
 			die(cbar.RunExperimentOpts(id, scale, opt, os.Stdout))
 		} else {

@@ -11,11 +11,19 @@
 //	sweep -traffic perm:shift+16
 //	sweep -traffic burst:50,200          (uniform destinations, bursty arrivals)
 //	sweep -traffic adv+1+burst:50,200,0.8+skew:0.1,0.5
+//	sweep -scale small -routing base,ectn -traffic un -adaptive
 //
 // The whole load×seed grid runs through one bounded worker pool; every
 // row reports the cross-seed merged-histogram percentiles plus the
 // fraction of latencies beyond the histogram cap (overflow_frac > 0
 // means the reported percentiles are saturated).
+//
+// -adaptive replaces the fixed warmup/measure windows with the adaptive
+// measurement engine (MSER warmup truncation, batch-means CI stopping,
+// saturation short-circuit) and appends ci_half_latency,
+// measured_cycles, warmup_cycles, saturated, converged columns; without
+// it the output is byte-identical to previous releases (pinned by
+// testdata/golden).
 package main
 
 import (
@@ -38,6 +46,9 @@ func main() {
 		measure   = flag.Int64("measure", 0, "measurement cycles (0 = scale default)")
 		seeds     = flag.Int("seeds", 0, "repeats per point (0 = scale default)")
 		workers   = flag.Int("workers", 0, "shard workers per simulated network (0 = auto: shard runs across idle cores when the load×seed grid is narrower than GOMAXPROCS, 1 = sequential stepping; results are identical at any count)")
+		adaptive  = flag.Bool("adaptive", false, "adaptive measurement: MSER warmup truncation + batch-means CI stopping + saturation short-circuit instead of fixed windows (-warmup caps the warmup, -measure sizes the default cap); adds CI/cost columns to the CSV")
+		ciRel     = flag.Float64("ci", 0, "adaptive: target relative 95% CI half-width on mean latency and throughput (0 = 0.05)")
+		maxMeas   = flag.Int64("maxmeasure", 0, "adaptive: hard cap on measured cycles per seed (0 = 4x the measurement window)")
 	)
 	flag.Parse()
 
@@ -65,17 +76,32 @@ func main() {
 		loads = append(loads, v)
 	}
 
+	// The fixed-mode header and row format are pinned byte-for-byte by
+	// testdata/golden (see golden_test.go and the CI golden gate); the
+	// adaptive columns only ever append behind -adaptive.
 	fmt.Printf("# %s traffic on %s scale\n", traf.Name(), scale)
-	fmt.Println("load,algo,avg_latency_cycles,p99_latency_cycles,accepted_phits_node_cycle,misrouted_global_frac,overflow_frac")
-	opt := cbar.SteadyOptions{Warmup: *warmup, Measure: *measure, Seeds: *seeds}
+	header := "load,algo,avg_latency_cycles,p99_latency_cycles,accepted_phits_node_cycle,misrouted_global_frac,overflow_frac"
+	if *adaptive {
+		header += ",ci_half_latency,measured_cycles,warmup_cycles,saturated,converged"
+	}
+	fmt.Println(header)
+	opt := cbar.SteadyOptions{
+		Warmup: *warmup, Measure: *measure, Seeds: *seeds,
+		Adaptive: *adaptive, CIRelWidth: *ciRel, MaxMeasure: *maxMeas,
+	}
 	for _, a := range algos {
 		cfg := cbar.NewConfig(scale, a)
 		cfg.Workers = *workers
 		rs, err := cbar.Sweep(cfg, traf, loads, opt)
 		die(err)
 		for _, r := range rs {
-			fmt.Printf("%.3f,%s,%.2f,%d,%.4f,%.4f,%.4f\n",
+			row := fmt.Sprintf("%.3f,%s,%.2f,%d,%.4f,%.4f,%.4f",
 				r.Load, r.Algo, r.AvgLatency, r.P99, r.Accepted, r.MisroutedGlobal, r.OverflowFrac)
+			if *adaptive {
+				row += fmt.Sprintf(",%.2f,%d,%d,%t,%t",
+					r.CIHalfLatency, r.MeasuredCycles, r.WarmupCycles, r.Saturated, r.Converged)
+			}
+			fmt.Println(row)
 		}
 	}
 }

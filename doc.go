@@ -34,6 +34,47 @@
 // order statistics, with SteadyResult.OverflowFrac flagging saturated
 // tails).
 //
+// # Measurement methodology
+//
+// Steady-state measurement has two modes. The default fixed mode is
+// the paper's §IV methodology: simulate SteadyOptions.Warmup cycles
+// unmeasured, record deliveries for Measure cycles, repeat over Seeds
+// seeds (15000-cycle windows and 10 seeds at Paper scale). It is
+// deterministic and bit-identical across releases — the golden CSVs
+// under testdata/golden pin it — but it spends the same cycle budget
+// whether a point converged in a fifth of the window or will never
+// converge at all.
+//
+// Adaptive mode (SteadyOptions.Adaptive, cmd/sweep and cmd/figures
+// -adaptive) spends cycles only where the statistics demand them:
+//
+//   - Warmup truncation: the run streams per-bucket mean delivery
+//     latency and ends warmup when the MSER rule (minimize the squared
+//     standard error of the remaining batch means) places the
+//     truncation point well inside the collected series. The fixed
+//     Warmup acts as a cap, so adaptive warmup never exceeds it.
+//   - CI-driven stopping: measurement proceeds in bucket-sized chunks,
+//     maintaining batch-means 95% confidence intervals (fixed batch
+//     count, growing batch size, so autocorrelation is absorbed as
+//     batches widen) on mean latency and throughput; the run stops
+//     when both relative half-widths drop below CIRelWidth (default
+//     5%) or MaxMeasure cycles (default 4x Measure) are spent.
+//   - Saturation short-circuit: a point past its saturation load never
+//     converges — the in-flight population grows until the bounded NIC
+//     queues fill, after which sources throttle. The detector watches
+//     the backlog trend and the blocked-injection fraction over a
+//     trailing window and bails out early, flagging the result.
+//
+// SteadyResult reports what was spent and decided: CIHalfLatency and
+// CIHalfAccepted (95% half-widths), MeasuredCycles (total measured
+// cycles across seeds), WarmupCycles (mean truncated warmup),
+// Saturated and Converged. cmd/sweep -adaptive appends them as CSV
+// columns (ci_half_latency, measured_cycles, warmup_cycles, saturated,
+// converged); fixed-mode CSV output is unchanged. Adaptive results are
+// statistically equivalent but not bit-identical to fixed mode; use
+// fixed windows when reproducing the paper's exact figures and
+// adaptive mode when sweeping large grids for shape.
+//
 // # Workload catalog
 //
 // A Traffic value combines a destination pattern with an arrival

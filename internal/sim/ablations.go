@@ -51,7 +51,7 @@ func AblationSpeedup(s Scale, b Budget, w io.Writer) error {
 		for _, load := range []float64{0.5, 0.8} {
 			cfg := NewConfig(s.Params(), routing.Base)
 			cfg.Router.Speedup = speedup
-			r, err := RunSteady(cfg, UN(), load, b.Warmup, b.Measure, b.Seeds)
+			r, err := RunSteadyBudget(cfg, UN(), load, b)
 			if err != nil {
 				return err
 			}
@@ -72,7 +72,7 @@ func AblationLocalVCs(s Scale, b Budget, w io.Writer) error {
 		for _, load := range []float64{0.15, 0.3} {
 			cfg := NewConfig(s.Params(), routing.Base)
 			cfg.Router.VCsLocal = vcs
-			r, err := RunSteady(cfg, ADV(h), load, b.Warmup, b.Measure, b.Seeds)
+			r, err := RunSteadyBudget(cfg, ADV(h), load, b)
 			if err != nil {
 				return err
 			}
@@ -101,7 +101,7 @@ func AblationThresholdBounds(s Scale, b Budget, w io.Writer) error {
 		}{{UN(), 0.5}, {ADV(1), 0.2}} {
 			c := cfg
 			c.Opts.BaseTh = th
-			r, err := RunSteady(c, tc.w, tc.load, b.Warmup, b.Measure, b.Seeds)
+			r, err := RunSteadyBudget(c, tc.w, tc.load, b)
 			if err != nil {
 				return err
 			}
@@ -122,7 +122,7 @@ func AblationStatisticalTrigger(s Scale, b Budget, w io.Writer) error {
 	for _, algo := range []routing.Algo{routing.Base, routing.BaseProb} {
 		for _, load := range []float64{0.1, 0.2} {
 			cfg := NewConfig(s.Params(), algo)
-			r, err := RunSteady(cfg, ADV(1), load, b.Warmup, b.Measure, b.Seeds)
+			r, err := RunSteadyBudget(cfg, ADV(1), load, b)
 			if err != nil {
 				return err
 			}

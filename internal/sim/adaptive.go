@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"cbar/internal/router"
+	"cbar/internal/stats"
+	"cbar/internal/traffic"
+)
+
+// Adaptive measurement engine. Instead of the paper's fixed
+// warmup+measure windows, an adaptive steady-state run spends cycles
+// only where the statistics demand them:
+//
+//  1. Warmup truncation: the run streams per-bucket mean delivery
+//     latency and applies the MSER rule (stats.MSERTruncate) until the
+//     detected truncation point is well inside the collected series —
+//     the initialization transient is over. Budget.Warmup caps the
+//     phase, so adaptive warmup never exceeds the fixed budget's.
+//  2. CI-driven stopping: measurement then proceeds bucket by bucket,
+//     maintaining batch-means 95% confidence intervals (fixed batch
+//     count, growing batch size) on mean latency and throughput. The
+//     run stops when both relative half-widths drop below
+//     Budget.CIRelWidth — with a guard that a batch spans at least one
+//     mean latency, so neighboring batches are roughly decorrelated —
+//     or when Budget.MaxMeasure cycles have been spent.
+//  3. Saturation short-circuit: a point past its saturation load never
+//     converges — backlog grows without bound until the NIC queues fill
+//     and then the sources throttle. The detector watches the in-flight
+//     packet population trend and the blocked-injection fraction over a
+//     trailing window and bails out early, marking the result
+//     Saturated, instead of spending the full cycle cap.
+//
+// All knobs below are in buckets of adaptiveBucket cycles. They trade
+// statistical delicacy for simplicity; the point of the engine is not a
+// perfect estimator but spending ~the right order of cycles per point,
+// with the fixed-window path left untouched as the reproducible default.
+const (
+	// adaptiveBucket is the time-series bucket width in cycles.
+	adaptiveBucket = 25
+	// adaptiveCheckEvery is the bucket stride between stopping-rule and
+	// saturation checks.
+	adaptiveCheckEvery = 5
+	// adaptiveMSERBatch is the MSER batch size in buckets (MSER-5).
+	adaptiveMSERBatch = 5
+	// adaptiveMinWarmupBuckets is the minimum warmup series length
+	// before the first MSER check (8 MSER batches).
+	adaptiveMinWarmupBuckets = 8 * adaptiveMSERBatch
+	// adaptiveBatches is the fixed batch count of the batch-means CI.
+	adaptiveBatches = 20
+	// adaptiveMinMeasureBuckets is the minimum measurement series length
+	// before the first CI check (2 buckets per batch).
+	adaptiveMinMeasureBuckets = 2 * adaptiveBatches
+	// satWindow is the saturation detector's trailing window in buckets.
+	satWindow = 30
+	// satBlockedFrac is the blocked-injection fraction above which the
+	// sources are considered throttled by full NIC queues.
+	satBlockedFrac = 0.05
+	// satGrowthFrac is the relative in-flight growth over the trailing
+	// window that counts as unbounded backlog accumulation.
+	satGrowthFrac = 0.5
+	// satConsecutive is how many consecutive positive checks the
+	// detector needs before declaring saturation, so a single burst or
+	// transient spike cannot short-circuit a healthy run.
+	satConsecutive = 2
+)
+
+// measureSeed runs one seed of a steady-state point under the budget's
+// measurement mode: the fixed-window steadySeed (bit-identical to the
+// pre-adaptive implementation) or the adaptive engine.
+func measureSeed(c Config, w Workload, load float64, b Budget, seed uint64) (SteadyResult, *stats.Histogram, error) {
+	if b.Adaptive {
+		return adaptiveSeed(c, w, load, b, seed)
+	}
+	return steadySeed(c, w, load, b.Warmup, b.Measure, seed)
+}
+
+// satDetector watches for the two signatures of an offered load past the
+// saturation point: the in-flight packet population growing without
+// bound (queues filling), and — once the bounded NIC queues are full and
+// backlog can no longer grow — a persistent fraction of generation
+// attempts being refused (sources throttled). Samples are taken once
+// per bucket; the decision looks at a trailing window and must fire on
+// consecutive checks.
+type satDetector struct {
+	nodes    float64
+	inflight []float64
+	blocked  []float64
+	offered  []float64
+	lastBlk  uint64
+	lastOff  uint64
+	hits     int
+}
+
+func newSatDetector(net *router.Network) *satDetector {
+	return &satDetector{nodes: float64(net.Topo.Nodes)}
+}
+
+// sample records the bucket-end backlog and the bucket's injection
+// acceptance deltas.
+func (d *satDetector) sample(net *router.Network) {
+	off := net.NumGenerated + net.NumBlocked
+	d.inflight = append(d.inflight, float64(net.InFlight))
+	d.blocked = append(d.blocked, float64(net.NumBlocked-d.lastBlk))
+	d.offered = append(d.offered, float64(off-d.lastOff))
+	d.lastBlk = net.NumBlocked
+	d.lastOff = off
+}
+
+// saturated evaluates the trailing window; call once per check stride.
+func (d *satDetector) saturated() bool {
+	n := len(d.inflight)
+	if n < satWindow {
+		return false
+	}
+	win := d.inflight[n-satWindow:]
+	meanIF := stats.Mean(win)
+	growth := stats.TrendSlope(win) * satWindow
+	var blk, off float64
+	for i := n - satWindow; i < n; i++ {
+		blk += d.blocked[i]
+		off += d.offered[i]
+	}
+	growing := growth > satGrowthFrac*meanIF && meanIF > d.nodes
+	throttled := off > 0 && blk/off > satBlockedFrac
+	if growing || throttled {
+		d.hits++
+	} else {
+		d.hits = 0
+	}
+	return d.hits >= satConsecutive
+}
+
+// adaptiveSeed runs one seed's steady-state experiment under the
+// adaptive engine. Like steadySeed it leaves the latency summary fields
+// to reduceSteady (via the returned histogram); unlike steadySeed the
+// windows are data-driven: warmup ends when MSER says the transient is
+// over (capped by b.Warmup), measurement ends when the batch-means CIs
+// hit b.CIRelWidth (capped by b.MaxMeasure), and the saturation
+// detector can cut either phase short.
+func adaptiveSeed(c Config, w Workload, load float64, b Budget, seed uint64) (SteadyResult, *stats.Histogram, error) {
+	net, err := BuildNetwork(c, seed)
+	if err != nil {
+		return SteadyResult{}, nil, err
+	}
+	pat, err := w.Pattern(net.Topo)
+	if err != nil {
+		return SteadyResult{}, nil, err
+	}
+	inj, err := w.injector(net, traffic.Constant(pat), load, seed^0x9E3779B97F4A7C15)
+	if err != nil {
+		return SteadyResult{}, nil, err
+	}
+	nodes := float64(net.Topo.Nodes)
+
+	// Delivery observer: per-bucket accumulators plus the running
+	// aggregate statistics. The aggregates (and the histogram) are reset
+	// at the warmup/measurement boundary, so after the run they cover
+	// exactly the measurement window.
+	var (
+		hist    = stats.NewHistogram(latencyHistCap)
+		hops    stats.Welford
+		phits   uint64
+		misG    uint64
+		misL    uint64
+		counted uint64
+		bSum    float64
+		bCnt    uint64
+		bPhits  uint64
+	)
+	net.OnDeliver = func(p *router.Packet, now int64) {
+		lat := now - p.GenTime
+		bSum += float64(lat)
+		bCnt++
+		bPhits += uint64(p.Size)
+		hist.Add(lat)
+		hops.Add(float64(p.TotalHops))
+		phits += uint64(p.Size)
+		if p.GlobalMisroute {
+			misG++
+		}
+		if p.LocalMisroutes > 0 {
+			misL++
+		}
+		counted++
+	}
+
+	var cyc int64
+	runBucket := func() {
+		bSum, bCnt, bPhits = 0, 0, 0
+		for i := 0; i < adaptiveBucket; i++ {
+			inj.Cycle()
+			net.Step()
+			cyc++
+		}
+	}
+
+	sat := newSatDetector(net)
+	saturated := false
+
+	// Phase 1: warmup detection. The latency series carries the last
+	// seen bucket mean through empty buckets — before the first delivery
+	// it is zero, which MSER correctly treats as part of the transient.
+	var warmSeries []float64
+	lastMean := 0.0
+	warmupDone := false
+	for !warmupDone && !saturated {
+		runBucket()
+		sat.sample(net)
+		if bCnt > 0 {
+			lastMean = bSum / float64(bCnt)
+		}
+		warmSeries = append(warmSeries, lastMean)
+		if len(warmSeries)%adaptiveCheckEvery == 0 {
+			if sat.saturated() {
+				saturated = true
+				break
+			}
+			if len(warmSeries) >= adaptiveMinWarmupBuckets {
+				if _, ok := stats.MSERTruncate(warmSeries, adaptiveMSERBatch); ok {
+					warmupDone = true
+				}
+			}
+		}
+		if cyc >= b.Warmup { // the fixed budget's warmup is the cap
+			warmupDone = true
+		}
+	}
+
+	// Phase boundary: everything before this cycle is discarded warmup.
+	truncWarm := cyc
+	var busyLocal0, busyGlobal0 int64
+	var ciLat, ciAcc float64
+	converged := false
+	measStart := cyc
+	if !saturated {
+		hist = stats.NewHistogram(latencyHistCap)
+		hops.Reset()
+		phits, misG, misL, counted = 0, 0, 0, 0
+		_, busyLocal0, busyGlobal0 = net.LinkBusy()
+
+		// Phase 2: CI-driven measurement.
+		var latB, thrB []float64
+		buckets := 0
+		for {
+			runBucket()
+			sat.sample(net)
+			buckets++
+			if bCnt > 0 {
+				latB = append(latB, bSum/float64(bCnt))
+			}
+			thrB = append(thrB, float64(bPhits)/(adaptiveBucket*nodes))
+			if buckets%adaptiveCheckEvery == 0 {
+				if sat.saturated() {
+					saturated = true
+					break
+				}
+				if buckets >= adaptiveMinMeasureBuckets {
+					lm, lh, ok1 := stats.BatchMeansCI(latB, adaptiveBatches)
+					tm, th, ok2 := stats.BatchMeansCI(thrB, adaptiveBatches)
+					if ok1 && ok2 {
+						ciLat, ciAcc = lh, th
+					}
+					// The decorrelation guard: a CI batch must span at
+					// least half a mean latency — the correlation
+					// timescale of the bucket-mean series — or
+					// neighboring batch means share in-flight packets
+					// and the CI is optimistic.
+					batchCycles := float64(buckets/adaptiveBatches) * adaptiveBucket
+					if ok1 && ok2 && lm > 0 && tm > 0 && 2*batchCycles >= lm &&
+						lh <= b.CIRelWidth*lm && th <= b.CIRelWidth*tm {
+						converged = true
+						break
+					}
+				}
+			}
+			if int64(buckets)*adaptiveBucket >= b.MaxMeasure {
+				break
+			}
+		}
+	}
+
+	measure := cyc - measStart
+	if measure == 0 {
+		// Saturated before any measurement: report the whole run so the
+		// point still carries throughput/latency evidence, flagged.
+		measure = cyc
+		truncWarm = 0
+	}
+	_, busyLocal1, busyGlobal1 := net.LinkBusy()
+	_, nLocal, nGlobal := net.LinkCounts()
+	res := SteadyResult{
+		Algo:           c.Algo.String(),
+		Workload:       w.Name(),
+		Load:           load,
+		Accepted:       float64(phits) / (float64(measure) * nodes),
+		Delivered:      counted,
+		AvgHops:        hops.Mean(),
+		UtilLocal:      float64(busyLocal1-busyLocal0) / (float64(measure) * float64(nLocal)),
+		UtilGlobal:     float64(busyGlobal1-busyGlobal0) / (float64(measure) * float64(nGlobal)),
+		Seeds:          1,
+		CIHalfLatency:  ciLat,
+		CIHalfAccepted: ciAcc,
+		MeasuredCycles: measure,
+		WarmupCycles:   truncWarm,
+		Saturated:      saturated,
+		Converged:      converged,
+	}
+	if counted > 0 {
+		res.MisroutedGlobal = float64(misG) / float64(counted)
+		res.MisroutedLocal = float64(misL) / float64(counted)
+	}
+	return res, hist, nil
+}

@@ -1,0 +1,142 @@
+package sim
+
+import "fmt"
+
+// Budget sizes an experiment run: simulation windows, repeats and the
+// offered-load grid. The paper's evaluation (Table I scale) uses long
+// windows and 10 repeats; scaled-down runs use proportionally smaller
+// budgets so the full figure set regenerates in minutes on a laptop.
+//
+// With Adaptive set, the fixed steady-state windows become bounds of a
+// statistically driven run instead: Warmup caps an MSER-detected warmup
+// truncation, and measurement proceeds in bucket-sized chunks until the
+// batch-means 95% confidence interval on mean latency and throughput is
+// within CIRelWidth of the mean (or MaxMeasure cycles are spent, or the
+// saturation detector short-circuits the point). Adaptive == false is
+// the default and reproduces the fixed-window results bit-identically.
+type Budget struct {
+	// Steady-state windows (cycles) and repeats.
+	Warmup, Measure int64
+	Seeds           int
+	// Transient windows: warmup before the switch, trace extent before
+	// (Pre) and after (Post / PostLong for the oscillation figures)
+	// the switch, and the averaging bucket width, all in cycles.
+	TransientWarmup int64
+	Pre, Post       int64
+	PostLong        int64
+	Bucket          int64
+	// Loads is the offered-load grid of the steady-state sweeps.
+	Loads []float64
+	// Workers is the per-run shard worker count threaded into every
+	// simulation of the experiment (router.Config.Workers). 0 lets each
+	// entry point split GOMAXPROCS between its grid and intra-run
+	// sharding automatically; results are identical either way.
+	Workers int
+
+	// Adaptive switches steady-state measurement from the fixed
+	// Warmup+Measure windows to the adaptive engine (MSER warmup
+	// truncation, batch-means CI stopping rule, saturation
+	// short-circuit). Transient experiments always use fixed windows.
+	Adaptive bool
+	// CIRelWidth is the adaptive target: stop once the relative 95%
+	// CI half-width of both mean latency and throughput drops below it.
+	// 0 defaults to 0.05.
+	CIRelWidth float64
+	// MaxMeasure caps the adaptive measurement phase per seed, in
+	// cycles. 0 defaults to 4x Measure.
+	MaxMeasure int64
+}
+
+// DefaultBudget returns a budget tuned to the scale: the paper's windows
+// at Paper scale, laptop-friendly ones below it.
+func DefaultBudget(s Scale) Budget {
+	switch s {
+	case Tiny:
+		return Budget{
+			Warmup: 1200, Measure: 1200, Seeds: 3,
+			TransientWarmup: 1200, Pre: 100, Post: 600, PostLong: 1600, Bucket: 20,
+			Loads: []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		}
+	case Small:
+		return Budget{
+			Warmup: 2500, Measure: 2500, Seeds: 3,
+			TransientWarmup: 2000, Pre: 100, Post: 800, PostLong: 1600, Bucket: 20,
+			Loads: []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		}
+	default: // Paper: §IV-B windows (warmup + 15k measured cycles, 10 repeats)
+		return Budget{
+			Warmup: 15000, Measure: 15000, Seeds: 10,
+			TransientWarmup: 10000, Pre: 100, Post: 800, PostLong: 1600, Bucket: 10,
+			Loads: []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		}
+	}
+}
+
+// steadyDefaults fills the zero-valued adaptive knobs from their
+// documented defaults. Fixed-window budgets pass through unchanged.
+// A positive MaxMeasure below the stopping rule's minimum series
+// length is raised to it — a cap the CI check can never run under
+// would exit with a zero half-width that reads as perfect convergence.
+func (b Budget) steadyDefaults() Budget {
+	if b.Adaptive {
+		if b.CIRelWidth == 0 {
+			b.CIRelWidth = 0.05
+		}
+		if b.MaxMeasure == 0 {
+			b.MaxMeasure = 4 * b.Measure
+		}
+		if floor := int64(adaptiveMinMeasureBuckets * adaptiveBucket); b.MaxMeasure > 0 && b.MaxMeasure < floor {
+			b.MaxMeasure = floor
+		}
+	}
+	return b
+}
+
+// validateSteady rejects steady-state windows that would silently
+// produce empty or skewed measurements: negative warmup, an empty
+// measurement window, a non-positive repeat count, and (adaptive mode)
+// a relative-CI target outside (0,1) or an empty cycle cap.
+func (b Budget) validateSteady() error {
+	if b.Warmup < 0 {
+		return fmt.Errorf("sim: warmup %d must be >= 0", b.Warmup)
+	}
+	if b.Measure < 1 {
+		return fmt.Errorf("sim: measurement window %d must be >= 1 cycle", b.Measure)
+	}
+	if b.Seeds < 1 {
+		return fmt.Errorf("sim: seeds %d must be >= 1", b.Seeds)
+	}
+	if b.Adaptive {
+		if b.CIRelWidth <= 0 || b.CIRelWidth >= 1 {
+			return fmt.Errorf("sim: adaptive CI relative width %v must be in (0,1)", b.CIRelWidth)
+		}
+		if b.MaxMeasure < 1 {
+			return fmt.Errorf("sim: adaptive measurement cap %d must be >= 1 cycle", b.MaxMeasure)
+		}
+	}
+	return nil
+}
+
+// validateTransient rejects transient windows that would silently
+// produce empty or skewed traces: a bucket wider than the post-switch
+// trace, a warmup shorter than the pre-switch trace (the trace would
+// start before cycle 0), a non-positive bucket width or repeat count,
+// and a negative pre-switch extent.
+func (b Budget) validateTransient() error {
+	if b.Seeds < 1 {
+		return fmt.Errorf("sim: seeds %d must be >= 1", b.Seeds)
+	}
+	if b.Bucket < 1 {
+		return fmt.Errorf("sim: trace bucket width %d must be >= 1 cycle", b.Bucket)
+	}
+	if b.Pre < 0 {
+		return fmt.Errorf("sim: pre-switch trace extent %d must be >= 0", b.Pre)
+	}
+	if b.Post < b.Bucket {
+		return fmt.Errorf("sim: bucket width %d exceeds post-switch trace extent %d", b.Bucket, b.Post)
+	}
+	if b.TransientWarmup < b.Pre {
+		return fmt.Errorf("sim: transient warmup %d is shorter than the pre-switch trace extent %d", b.TransientWarmup, b.Pre)
+	}
+	return nil
+}

@@ -9,55 +9,6 @@ import (
 	"cbar/internal/stats"
 )
 
-// Budget sizes an experiment run: simulation windows, repeats and the
-// offered-load grid. The paper's evaluation (Table I scale) uses long
-// windows and 10 repeats; scaled-down runs use proportionally smaller
-// budgets so the full figure set regenerates in minutes on a laptop.
-type Budget struct {
-	// Steady-state windows (cycles) and repeats.
-	Warmup, Measure int64
-	Seeds           int
-	// Transient windows: warmup before the switch, trace extent before
-	// (Pre) and after (Post / PostLong for the oscillation figures)
-	// the switch, and the averaging bucket width, all in cycles.
-	TransientWarmup int64
-	Pre, Post       int64
-	PostLong        int64
-	Bucket          int64
-	// Loads is the offered-load grid of the steady-state sweeps.
-	Loads []float64
-	// Workers is the per-run shard worker count threaded into every
-	// simulation of the experiment (router.Config.Workers). 0 lets each
-	// entry point split GOMAXPROCS between its grid and intra-run
-	// sharding automatically; results are identical either way.
-	Workers int
-}
-
-// DefaultBudget returns a budget tuned to the scale: the paper's windows
-// at Paper scale, laptop-friendly ones below it.
-func DefaultBudget(s Scale) Budget {
-	switch s {
-	case Tiny:
-		return Budget{
-			Warmup: 1200, Measure: 1200, Seeds: 3,
-			TransientWarmup: 1200, Pre: 100, Post: 600, PostLong: 1600, Bucket: 20,
-			Loads: []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
-		}
-	case Small:
-		return Budget{
-			Warmup: 2500, Measure: 2500, Seeds: 3,
-			TransientWarmup: 2000, Pre: 100, Post: 800, PostLong: 1600, Bucket: 20,
-			Loads: []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
-		}
-	default: // Paper: §IV-B windows (warmup + 15k measured cycles, 10 repeats)
-		return Budget{
-			Warmup: 15000, Measure: 15000, Seeds: 10,
-			TransientWarmup: 10000, Pre: 100, Post: 800, PostLong: 1600, Bucket: 10,
-			Loads: []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
-		}
-	}
-}
-
 // transientLoad returns the offered load of the Figures 7-9 experiments:
 // 20% at the paper's (balanced) scales; the unbalanced tiny topology
 // needs 35% to sit in the same per-router pressure regime.
@@ -137,6 +88,10 @@ type sweepKey struct {
 // points and seeds in one parallel worker pool.
 func sweepSteady(s Scale, algos []routing.Algo, w Workload, loads []float64, b Budget,
 	mutate func(*Config)) (map[sweepKey]SteadyResult, error) {
+	b = b.steadyDefaults()
+	if err := b.validateSteady(); err != nil {
+		return nil, err
+	}
 	type job struct {
 		key  sweepKey
 		seed uint64
@@ -172,7 +127,7 @@ func sweepSteady(s Scale, algos []routing.Algo, w Workload, loads []float64, b B
 			mutate(&cfg)
 		}
 		var err error
-		perJob[i], perHist[i], err = steadySeed(cfg, w, jobs[i].key.load, b.Warmup, b.Measure, jobs[i].seed)
+		perJob[i], perHist[i], err = measureSeed(cfg, w, jobs[i].key.load, b, jobs[i].seed)
 		return err
 	})
 	if err != nil {
@@ -242,7 +197,7 @@ func runFig6(s Scale, b Budget, w io.Writer) error {
 	for _, frac := range fracs {
 		for _, a := range adaptiveAlgos {
 			cfg := NewConfig(s.Params(), a)
-			r, err := RunSteady(cfg, MixUN(frac, 1), load, b.Warmup, b.Measure, b.Seeds)
+			r, err := RunSteadyBudget(cfg, MixUN(frac, 1), load, b)
 			if err != nil {
 				return err
 			}
@@ -328,7 +283,7 @@ func runFig10(s Scale, b Budget, w io.Writer, workload Workload, ths []int32, re
 			cfg := NewConfig(s.Params(), routing.Base)
 			cfg.Router.Workers = b.Workers
 			cfg.Opts.BaseTh = th
-			r, err := RunSteady(cfg, workload, l, b.Warmup, b.Measure, b.Seeds)
+			r, err := RunSteadyBudget(cfg, workload, l, b)
 			if err != nil {
 				return err
 			}
@@ -337,7 +292,7 @@ func runFig10(s Scale, b Budget, w io.Writer, workload Workload, ths []int32, re
 		// Oblivious reference curve (MIN for UN, VAL for ADV).
 		refCfg := NewConfig(s.Params(), ref)
 		refCfg.Router.Workers = b.Workers
-		r, err := RunSteady(refCfg, workload, l, b.Warmup, b.Measure, b.Seeds)
+		r, err := RunSteadyBudget(refCfg, workload, l, b)
 		if err != nil {
 			return err
 		}

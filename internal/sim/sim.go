@@ -310,6 +310,27 @@ type SteadyResult struct {
 	// Delivered packets counted across all seeds' windows.
 	Delivered uint64
 	Seeds     int
+	// CIHalfLatency and CIHalfAccepted are the 95% confidence half-widths
+	// of AvgLatency and Accepted from the adaptive engine's batch-means
+	// estimator, combined across seeds. Zero in fixed-window mode.
+	CIHalfLatency  float64
+	CIHalfAccepted float64
+	// MeasuredCycles is the total number of measured cycles summed over
+	// all seeds (Measure x Seeds in fixed-window mode; whatever the
+	// stopping rule actually spent in adaptive mode).
+	MeasuredCycles int64
+	// WarmupCycles is the mean unmeasured warmup prefix per seed: the
+	// fixed Warmup window, or the MSER-truncated warmup in adaptive mode
+	// (zero for a run short-circuited as saturated before measuring).
+	WarmupCycles int64
+	// Saturated reports that at least one seed's run was cut short by
+	// the adaptive saturation detector (non-converging backlog growth or
+	// persistent source throttling): the point does not reach a steady
+	// state at this load and its averages describe a growing transient.
+	Saturated bool
+	// Converged reports that every seed reached the relative-CI target.
+	// Meaningful only in adaptive mode; always false in fixed mode.
+	Converged bool
 }
 
 // latencyHistCap bounds the latency histogram; latencies beyond it still
@@ -369,15 +390,17 @@ func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed 
 	_, busyLocal1, busyGlobal1 := net.LinkBusy()
 	_, nLocal, nGlobal := net.LinkCounts()
 	res := SteadyResult{
-		Algo:       c.Algo.String(),
-		Workload:   w.Name(),
-		Load:       load,
-		Accepted:   float64(phits) / (float64(measure) * float64(net.Topo.Nodes)),
-		Delivered:  counted,
-		AvgHops:    hops.Mean(),
-		UtilLocal:  float64(busyLocal1-busyLocal0) / (float64(measure) * float64(nLocal)),
-		UtilGlobal: float64(busyGlobal1-busyGlobal0) / (float64(measure) * float64(nGlobal)),
-		Seeds:      1,
+		Algo:           c.Algo.String(),
+		Workload:       w.Name(),
+		Load:           load,
+		Accepted:       float64(phits) / (float64(measure) * float64(net.Topo.Nodes)),
+		Delivered:      counted,
+		AvgHops:        hops.Mean(),
+		UtilLocal:      float64(busyLocal1-busyLocal0) / (float64(measure) * float64(nLocal)),
+		UtilGlobal:     float64(busyGlobal1-busyGlobal0) / (float64(measure) * float64(nGlobal)),
+		Seeds:          1,
+		MeasuredCycles: measure,
+		WarmupCycles:   warmup,
 	}
 	if counted > 0 {
 		res.MisroutedGlobal = float64(misG) / float64(counted)
@@ -396,14 +419,28 @@ func seedFor(i int) uint64 { return uint64(i)*0x1000003 + 1 }
 // parallel and are averaged (scalars) or merged (latency histograms, so
 // cross-seed percentiles are exact).
 func RunSteady(c Config, w Workload, load float64, warmup, measure int64, seeds int) (SteadyResult, error) {
-	rs, err := SweepSteady(c, w, []float64{load}, warmup, measure, seeds)
+	return RunSteadyBudget(c, w, load, Budget{Warmup: warmup, Measure: measure, Seeds: seeds})
+}
+
+// RunSteadyBudget is RunSteady driven by a Budget, the entry point that
+// also carries the adaptive-measurement knobs (Budget.Adaptive,
+// CIRelWidth, MaxMeasure). With Adaptive unset it is bit-identical to
+// RunSteady over the same windows.
+func RunSteadyBudget(c Config, w Workload, load float64, b Budget) (SteadyResult, error) {
+	rs, err := SweepSteadyBudget(c, w, []float64{load}, b)
 	if err != nil {
 		return SteadyResult{}, err
 	}
 	return rs[0], nil
 }
 
-// SweepSteady measures a whole load grid. The load×seed grid is
+// SweepSteady measures a whole load grid with fixed windows; see
+// SweepSteadyBudget for the full contract and the adaptive mode.
+func SweepSteady(c Config, w Workload, loads []float64, warmup, measure int64, seeds int) ([]SteadyResult, error) {
+	return SweepSteadyBudget(c, w, loads, Budget{Warmup: warmup, Measure: measure, Seeds: seeds})
+}
+
+// SweepSteadyBudget measures a whole load grid. The load×seed grid is
 // flattened through one bounded worker pool, so a sweep never
 // oversubscribes the machine the way per-load pools would. When the
 // grid is at least GOMAXPROCS wide, grid parallelism alone saturates
@@ -411,20 +448,28 @@ func RunSteady(c Config, w Workload, load float64, warmup, measure int64, seeds 
 // common paper-scale case: few loads, few seeds) spreads the idle cores
 // inside each run as shard workers (router.Config.Workers — results are
 // cycle-for-cycle identical at any worker count). An explicit
-// c.Router.Workers is respected instead of the automatic split. The
-// returned slice is ordered like loads.
-func SweepSteady(c Config, w Workload, loads []float64, warmup, measure int64, seeds int) ([]SteadyResult, error) {
-	if seeds < 1 {
-		seeds = 1
-	}
-	if warmup < 0 || measure < 1 {
-		return nil, fmt.Errorf("sim: invalid windows warmup=%d measure=%d", warmup, measure)
+// c.Router.Workers is respected instead of the automatic split (b.Workers
+// is used when the config leaves it unset). The returned slice is
+// ordered like loads.
+//
+// With b.Adaptive set, each (load, seed) point runs the adaptive
+// measurement engine (MSER warmup truncation, batch-means CI stopping,
+// saturation short-circuit) instead of the fixed windows; see
+// adaptiveSeed. The fixed path is the default and is bit-identical to
+// the pre-adaptive implementation.
+func SweepSteadyBudget(c Config, w Workload, loads []float64, b Budget) ([]SteadyResult, error) {
+	b = b.steadyDefaults()
+	if err := b.validateSteady(); err != nil {
+		return nil, err
 	}
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("sim: empty load grid")
 	}
-	tasks := len(loads) * seeds
+	tasks := len(loads) * b.Seeds
 	requested := c.Router.Workers
+	if requested == 0 {
+		requested = b.Workers
+	}
 	if requested == 0 && !autoShardable(c.Router) {
 		requested = 1
 	}
@@ -433,7 +478,7 @@ func SweepSteady(c Config, w Workload, loads []float64, warmup, measure int64, s
 	results := make([]SteadyResult, tasks)
 	hists := make([]*stats.Histogram, tasks)
 	err := forEachTaskN(tasks, taskWorkers, func(k int) error {
-		r, h, err := steadySeed(c, w, loads[k/seeds], warmup, measure, seedFor(k%seeds))
+		r, h, err := measureSeed(c, w, loads[k/b.Seeds], b, seedFor(k%b.Seeds))
 		results[k], hists[k] = r, h
 		return err
 	})
@@ -442,7 +487,7 @@ func SweepSteady(c Config, w Workload, loads []float64, warmup, measure int64, s
 	}
 	out := make([]SteadyResult, len(loads))
 	for li := range loads {
-		out[li] = reduceSteady(results[li*seeds:(li+1)*seeds], hists[li*seeds:(li+1)*seeds])
+		out[li] = reduceSteady(results[li*b.Seeds:(li+1)*b.Seeds], hists[li*b.Seeds:(li+1)*b.Seeds])
 	}
 	return out, nil
 }
@@ -482,6 +527,25 @@ func reduceSteady(rs []SteadyResult, hists []*stats.Histogram) SteadyResult {
 	out.OverflowFrac = merged.OverflowFrac()
 	out.Delivered = delivered
 	out.Seeds = len(rs)
+	// Measurement-accounting reduction: seed CIs are independent, so the
+	// half-width of the averaged estimate is sqrt(sum half^2)/n; cycle
+	// costs add up, warmup lengths average, saturation is sticky and
+	// convergence must hold for every seed.
+	out.MeasuredCycles, out.WarmupCycles = 0, 0
+	out.Saturated, out.Converged = false, true
+	var ciLat2, ciAcc2 float64
+	var warm int64
+	for _, r := range rs {
+		out.MeasuredCycles += r.MeasuredCycles
+		warm += r.WarmupCycles
+		ciLat2 += r.CIHalfLatency * r.CIHalfLatency
+		ciAcc2 += r.CIHalfAccepted * r.CIHalfAccepted
+		out.Saturated = out.Saturated || r.Saturated
+		out.Converged = out.Converged && r.Converged
+	}
+	out.WarmupCycles = warm / int64(len(rs))
+	out.CIHalfLatency = math.Sqrt(ciLat2) / n
+	out.CIHalfAccepted = math.Sqrt(ciAcc2) / n
 	return out
 }
 
@@ -516,14 +580,9 @@ type TransientResult struct {
 // scenario of Figure 7 ("the traffic changed exactly when the partial
 // counters were being distributed").
 func RunTransient(c Config, before, after Workload, load float64, warmup, pre, post, bucket int64, seeds int) (TransientResult, error) {
-	if seeds < 1 {
-		seeds = 1
-	}
-	if bucket < 1 {
-		bucket = 1
-	}
-	if warmup < pre || post < bucket {
-		return TransientResult{}, fmt.Errorf("sim: invalid transient windows warmup=%d pre=%d post=%d", warmup, pre, post)
+	tb := Budget{TransientWarmup: warmup, Pre: pre, Post: post, Bucket: bucket, Seeds: seeds}
+	if err := tb.validateTransient(); err != nil {
+		return TransientResult{}, err
 	}
 	if !after.Source.homogeneous() && after.Source != before.Source {
 		return TransientResult{}, fmt.Errorf("sim: transient arrival process is %q's for the whole run; %q's source spec would be ignored — put it on the pre-switch workload",

@@ -1,0 +1,137 @@
+package stats
+
+import "math"
+
+// Adaptive-measurement statistics: MSER warmup truncation, batch-means
+// confidence intervals and a least-squares trend test. These back the
+// simulator's adaptive measurement engine (internal/sim), which replaces
+// fixed warmup+measure windows with a statistically driven stopping rule.
+
+// MSERTruncate locates the warmup-truncation point of a time series by
+// the MSER (Marginal Standard Error Rule) heuristic of White: group the
+// series into consecutive batches of `batch` samples, and over candidate
+// truncation points d (in batches) minimize the squared standard error
+// of the remaining batch means,
+//
+//	MSER(d) = Var(Z[d:]) / (m-d).
+//
+// The returned truncation is in samples (d*batch). The rule is
+// well-determined — ok == true — only when the optimum lies strictly in
+// the first half of the series; an optimum at or beyond the midpoint
+// means the transient plausibly extends past the collected data and the
+// caller should keep simulating. At least 8 full batches are required.
+func MSERTruncate(xs []float64, batch int) (trunc int, ok bool) {
+	if batch < 1 {
+		batch = 1
+	}
+	m := len(xs) / batch
+	if m < 8 {
+		return 0, false
+	}
+	z := make([]float64, m)
+	for j := range z {
+		s := 0.0
+		for i := j * batch; i < (j+1)*batch; i++ {
+			s += xs[i]
+		}
+		z[j] = s / float64(batch)
+	}
+	// Suffix mean/variance via one reverse accumulation pass.
+	stat := make([]float64, m)
+	var sum, sumsq float64
+	for d := m - 1; d >= 0; d-- {
+		sum += z[d]
+		sumsq += z[d] * z[d]
+		n := float64(m - d)
+		mean := sum / n
+		v := sumsq/n - mean*mean
+		if v < 0 { // numerical noise on constant series
+			v = 0
+		}
+		stat[d] = v / n
+	}
+	best := 0
+	for d := 1; d <= m/2; d++ {
+		if stat[d] < stat[best] {
+			best = d
+		}
+	}
+	return best * batch, best < m/2
+}
+
+// BatchMeansCI estimates a 95% confidence interval for the mean of a
+// (possibly autocorrelated) stationary series by the method of
+// nonoverlapping batch means: the most recent k*floor(n/k) samples are
+// grouped into k consecutive batches, and the CI is built from the
+// batch-mean variance with a Student-t critical value on k-1 degrees of
+// freedom. Batch size grows with the data (fixed batch count), so
+// correlation between neighboring samples is progressively absorbed
+// within batches. ok is false when fewer than 2 samples per batch are
+// available.
+func BatchMeansCI(xs []float64, k int) (mean, half float64, ok bool) {
+	if k < 2 || len(xs) < 2*k {
+		return 0, 0, false
+	}
+	bs := len(xs) / k
+	start := len(xs) - k*bs // keep the freshest k*bs samples
+	var w Welford
+	for j := 0; j < k; j++ {
+		s := 0.0
+		for i := start + j*bs; i < start+(j+1)*bs; i++ {
+			s += xs[i]
+		}
+		w.Add(s / float64(bs))
+	}
+	mean = w.Mean()
+	half = TQuantile975(k-1) * w.Std() / math.Sqrt(float64(k))
+	return mean, half, true
+}
+
+// tTable975 holds two-sided 95% (upper 97.5%) Student-t critical values
+// for 1..30 degrees of freedom.
+var tTable975 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TQuantile975 returns the upper 97.5% Student-t critical value (the
+// multiplier of a two-sided 95% confidence interval) for df degrees of
+// freedom, from a table for df <= 30 and coarse steps beyond, converging
+// to the normal 1.960.
+func TQuantile975(df int) float64 {
+	switch {
+	case df < 1:
+		return math.Inf(1)
+	case df <= len(tTable975):
+		return tTable975[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	}
+	return 1.960
+}
+
+// TrendSlope returns the least-squares slope of xs against its index
+// (units of x per sample), or 0 for fewer than 2 samples. The adaptive
+// engine applies it to per-bucket backlog samples: a persistent positive
+// slope is the signature of a non-converging (saturated) operating
+// point.
+func TrendSlope(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	// slope = sum((i - iMean)(x - xMean)) / sum((i - iMean)^2)
+	iMean := float64(n-1) / 2
+	var num, den float64
+	for i, x := range xs {
+		d := float64(i) - iMean
+		num += d * x
+		den += d * d
+	}
+	return num / den
+}

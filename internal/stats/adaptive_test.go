@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"cbar/internal/rng"
+)
+
+// noise returns a deterministic pseudo-random sequence of n samples
+// uniform on [-a, a).
+func noise(n int, a float64, seed uint64) []float64 {
+	r := rng.New(seed, 7)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = a * (2*r.Float64() - 1)
+	}
+	return xs
+}
+
+// TestMSERTruncateIID: a stationary i.i.d. series has no transient, so
+// the truncation point must sit near the start.
+func TestMSERTruncateIID(t *testing.T) {
+	xs := noise(400, 1, 1)
+	for i := range xs {
+		xs[i] += 10
+	}
+	trunc, ok := MSERTruncate(xs, 5)
+	if !ok {
+		t.Fatal("MSER undetermined on stationary series")
+	}
+	if trunc > len(xs)/4 {
+		t.Fatalf("truncation %d of %d on a stationary series", trunc, len(xs))
+	}
+}
+
+// TestMSERTruncateTransient: an exponentially decaying initialization
+// bias must be truncated — the cut has to land after the bias has
+// mostly decayed but well before the end of the series.
+func TestMSERTruncateTransient(t *testing.T) {
+	const n = 400
+	xs := noise(n, 1, 2)
+	for i := range xs {
+		xs[i] += 10 + 50*math.Exp(-float64(i)/30)
+	}
+	trunc, ok := MSERTruncate(xs, 5)
+	if !ok {
+		t.Fatal("MSER undetermined despite long stationary tail")
+	}
+	// The bias is ~2% of the noise amplitude by sample 120 (4 time
+	// constants in, 50*e^-4 = 0.9); MSER should cut somewhere in the
+	// decay, not at zero and not deep into the stationary tail.
+	if trunc < 30 || trunc > 200 {
+		t.Fatalf("truncation %d outside the transient (expected within [30, 200])", trunc)
+	}
+}
+
+// TestMSERTruncateUndetermined: a series that drifts to the end (no
+// steady state in the data) must not report a confident truncation.
+func TestMSERTruncateUndetermined(t *testing.T) {
+	const n = 200
+	xs := noise(n, 0.1, 3)
+	for i := range xs {
+		xs[i] += float64(i) // unbounded drift: backlog-style growth
+	}
+	if trunc, ok := MSERTruncate(xs, 5); ok {
+		t.Fatalf("MSER confident (trunc %d) on a non-converging series", trunc)
+	}
+	// Short series are undetermined by definition.
+	if _, ok := MSERTruncate(xs[:20], 5); ok {
+		t.Fatal("MSER confident on 4 batches")
+	}
+}
+
+// TestBatchMeansCIIID pins the CI half-width against the closed form
+// for an i.i.d. uniform series: half ~= t_{k-1} * sigma / sqrt(n) with
+// sigma = 1/sqrt(12).
+func TestBatchMeansCIIID(t *testing.T) {
+	const n, k = 2000, 20
+	r := rng.New(4, 9)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	mean, half, ok := BatchMeansCI(xs, k)
+	if !ok {
+		t.Fatal("CI unavailable")
+	}
+	if math.Abs(mean-0.5) > 0.03 {
+		t.Fatalf("mean %v far from 0.5", mean)
+	}
+	want := TQuantile975(k-1) / math.Sqrt(12) / math.Sqrt(n)
+	if half < want/2 || half > want*2 {
+		t.Fatalf("half-width %v outside [%v, %v] around the closed form", half, want/2, want*2)
+	}
+	if _, _, ok := BatchMeansCI(xs[:2*k-1], k); ok {
+		t.Fatal("CI claimed with fewer than 2 samples per batch")
+	}
+}
+
+// TestBatchMeansCIAR1: for an AR(1) series with phi = 0.8 the true
+// standard error of the mean is sqrt((1+phi)/(1-phi)) = 3x the naive
+// i.i.d. formula. Batch means (batch size >> the 5-cycle correlation
+// time) must widen the CI by roughly that factor, where treating the
+// samples as independent would not.
+func TestBatchMeansCIAR1(t *testing.T) {
+	const n, k, phi = 4000, 20, 0.8
+	r := rng.New(5, 11)
+	xs := make([]float64, n)
+	x := 0.0
+	for i := 0; i < 100; i++ { // burn-in
+		x = phi*x + (2*r.Float64() - 1)
+	}
+	for i := range xs {
+		x = phi*x + (2*r.Float64() - 1)
+		xs[i] = x
+	}
+	var w Welford
+	for _, v := range xs {
+		w.Add(v)
+	}
+	naive := 1.96 * w.Std() / math.Sqrt(n)
+	_, half, ok := BatchMeansCI(xs, k)
+	if !ok {
+		t.Fatal("CI unavailable")
+	}
+	ratio := half / naive
+	want := math.Sqrt((1 + phi) / (1 - phi)) // 3.0
+	if ratio < want*0.6 || ratio > want*1.8 {
+		t.Fatalf("batch-means half %v is %.2fx the naive CI %v; expected ~%.1fx (autocorrelation inflation)",
+			half, ratio, naive, want)
+	}
+}
+
+func TestTQuantile975(t *testing.T) {
+	for _, tc := range []struct {
+		df   int
+		want float64
+	}{{1, 12.706}, {10, 2.228}, {30, 2.042}, {50, 2.000}, {1000, 1.960}} {
+		if got := TQuantile975(tc.df); got != tc.want {
+			t.Errorf("TQuantile975(%d) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+	if !math.IsInf(TQuantile975(0), 1) {
+		t.Error("TQuantile975(0) must be +Inf")
+	}
+}
+
+func TestTrendSlope(t *testing.T) {
+	line := make([]float64, 50)
+	for i := range line {
+		line[i] = 3 + 2.5*float64(i)
+	}
+	if got := TrendSlope(line); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("slope of exact line = %v, want 2.5", got)
+	}
+	flat := make([]float64, 50)
+	for i := range flat {
+		flat[i] = 7
+	}
+	if got := TrendSlope(flat); math.Abs(got) > 1e-9 {
+		t.Errorf("slope of constant = %v, want 0", got)
+	}
+	if got := TrendSlope(nil); got != 0 {
+		t.Errorf("slope of empty = %v, want 0", got)
+	}
+}

@@ -9,29 +9,52 @@ import (
 
 // SteadyOptions sizes a steady-state measurement. Zero values take the
 // scale-appropriate defaults (the paper warms up, then measures 15000
-// cycles averaged over 10 runs at full scale).
+// cycles averaged over 10 runs at full scale); explicitly negative
+// windows or repeat counts are rejected with an error rather than
+// silently replaced.
 type SteadyOptions struct {
-	// Warmup cycles before measurement starts.
+	// Warmup cycles before measurement starts. In adaptive mode this is
+	// the cap of the MSER-detected warmup truncation instead.
 	Warmup int64
-	// Measure is the measurement window in cycles.
+	// Measure is the measurement window in cycles. In adaptive mode it
+	// only sizes the default MaxMeasure cap (4x Measure).
 	Measure int64
 	// Seeds is the number of independent repeats (averaged; run in
 	// parallel).
 	Seeds int
+	// Adaptive replaces the fixed windows with the adaptive measurement
+	// engine: MSER warmup truncation, a batch-means CI stopping rule
+	// (simulate until the 95% CI on mean latency and throughput is
+	// within CIRelWidth of the mean) and a saturation short-circuit
+	// that bails out of non-converging points early. The default fixed
+	// mode reproduces pre-adaptive results bit-identically.
+	Adaptive bool
+	// CIRelWidth is the adaptive stopping target (0 = 0.05).
+	CIRelWidth float64
+	// MaxMeasure caps the adaptive measurement phase per seed, in
+	// cycles (0 = 4x Measure).
+	MaxMeasure int64
 }
 
-func (o SteadyOptions) withDefaults(c Config) SteadyOptions {
+// budget resolves the options against the config's scale defaults,
+// leaving validation (negative windows, bad CI targets) to the
+// simulation layer so every entry point reports the same errors.
+func (o SteadyOptions) budget(c Config) sim.Budget {
 	def := sim.DefaultBudget(scaleOf(c))
-	if o.Warmup <= 0 {
-		o.Warmup = def.Warmup
+	b := sim.Budget{
+		Warmup: o.Warmup, Measure: o.Measure, Seeds: o.Seeds,
+		Adaptive: o.Adaptive, CIRelWidth: o.CIRelWidth, MaxMeasure: o.MaxMeasure,
 	}
-	if o.Measure <= 0 {
-		o.Measure = def.Measure
+	if b.Warmup == 0 {
+		b.Warmup = def.Warmup
 	}
-	if o.Seeds <= 0 {
-		o.Seeds = def.Seeds
+	if b.Measure == 0 {
+		b.Measure = def.Measure
 	}
-	return o
+	if b.Seeds == 0 {
+		b.Seeds = def.Seeds
+	}
+	return b
 }
 
 // scaleOf classifies a config by node count, for defaulting budgets.
@@ -81,6 +104,25 @@ type SteadyResult struct {
 	Delivered uint64
 	// Seeds is the number of averaged repeats.
 	Seeds int
+	// CIHalfLatency and CIHalfAccepted are the 95% confidence
+	// half-widths of AvgLatency and Accepted from the adaptive engine's
+	// batch-means estimator, combined across seeds (zero in fixed mode).
+	CIHalfLatency  float64
+	CIHalfAccepted float64
+	// MeasuredCycles is the total number of measured cycles summed over
+	// all seeds — Measure x Seeds in fixed mode, whatever the stopping
+	// rule actually spent in adaptive mode.
+	MeasuredCycles int64
+	// WarmupCycles is the mean unmeasured warmup prefix per seed (the
+	// MSER-truncated length in adaptive mode).
+	WarmupCycles int64
+	// Saturated reports that the adaptive saturation detector cut at
+	// least one seed short: the point does not converge at this load
+	// and its averages describe a growing transient.
+	Saturated bool
+	// Converged reports that every seed reached the relative-CI target
+	// (adaptive mode only; always false in fixed mode).
+	Converged bool
 }
 
 func fromSimSteady(r sim.SteadyResult) SteadyResult {
@@ -100,6 +142,12 @@ func fromSimSteady(r sim.SteadyResult) SteadyResult {
 		OverflowFrac:    r.OverflowFrac,
 		Delivered:       r.Delivered,
 		Seeds:           r.Seeds,
+		CIHalfLatency:   r.CIHalfLatency,
+		CIHalfAccepted:  r.CIHalfAccepted,
+		MeasuredCycles:  r.MeasuredCycles,
+		WarmupCycles:    r.WarmupCycles,
+		Saturated:       r.Saturated,
+		Converged:       r.Converged,
 	}
 }
 
@@ -110,8 +158,7 @@ func RunSteady(c Config, t Traffic, load float64, opt SteadyOptions) (SteadyResu
 	if err != nil {
 		return SteadyResult{}, err
 	}
-	opt = opt.withDefaults(c)
-	r, err := sim.RunSteady(sc, t.inner, load, opt.Warmup, opt.Measure, opt.Seeds)
+	r, err := sim.RunSteadyBudget(sc, t.inner, load, opt.budget(c))
 	if err != nil {
 		return SteadyResult{}, err
 	}
@@ -130,8 +177,7 @@ func Sweep(c Config, t Traffic, loads []float64, opt SteadyOptions) ([]SteadyRes
 	if err != nil {
 		return nil, err
 	}
-	opt = opt.withDefaults(c)
-	rs, err := sim.SweepSteady(sc, t.inner, loads, opt.Warmup, opt.Measure, opt.Seeds)
+	rs, err := sim.SweepSteadyBudget(sc, t.inner, loads, opt.budget(c))
 	if err != nil {
 		return nil, err
 	}
@@ -156,21 +202,25 @@ type TransientOptions struct {
 	Seeds int
 }
 
+// withDefaults fills zero-valued windows from the scale defaults.
+// Explicitly negative values pass through so the simulation layer's
+// validation rejects them with a clear error instead of silently
+// substituting a default.
 func (o TransientOptions) withDefaults(c Config) TransientOptions {
 	def := sim.DefaultBudget(scaleOf(c))
-	if o.Warmup <= 0 {
+	if o.Warmup == 0 {
 		o.Warmup = def.TransientWarmup
 	}
-	if o.Pre <= 0 {
+	if o.Pre == 0 {
 		o.Pre = def.Pre
 	}
-	if o.Post <= 0 {
+	if o.Post == 0 {
 		o.Post = def.Post
 	}
-	if o.Bucket <= 0 {
+	if o.Bucket == 0 {
 		o.Bucket = def.Bucket
 	}
-	if o.Seeds <= 0 {
+	if o.Seeds == 0 {
 		o.Seeds = def.Seeds
 	}
 	return o
@@ -259,6 +309,17 @@ type ExperimentOptions struct {
 	// intra-run sharding, 1 = sequential stepping). Results are
 	// identical at every worker count.
 	Workers int
+	// Adaptive runs the experiment's steady-state points under the
+	// adaptive measurement engine (MSER warmup truncation, batch-means
+	// CI stopping, saturation short-circuit) instead of the fixed
+	// windows; transient traces keep their fixed windows. Numbers are
+	// statistically equivalent but not bit-identical to fixed mode.
+	Adaptive bool
+	// CIRelWidth is the adaptive stopping target (0 = 0.05).
+	CIRelWidth float64
+	// MaxMeasure caps the adaptive measurement phase per seed, in
+	// cycles (0 = 4x the scale's fixed measurement window).
+	MaxMeasure int64
 }
 
 // RunExperimentOpts is RunExperiment with budget overrides.
@@ -268,9 +329,19 @@ func RunExperimentOpts(id string, s Scale, opt ExperimentOptions, w io.Writer) e
 		return fmt.Errorf("cbar: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
 	b := sim.DefaultBudget(s.internal())
-	if opt.Seeds > 0 {
+	// 0 means scale default; anything else (negative included) reaches
+	// the budget validation, matching RunSteady/Sweep.
+	if opt.Seeds != 0 {
 		b.Seeds = opt.Seeds
 	}
+	if opt.Seeds < 0 {
+		// Some experiments (e.g. "via") never consume Seeds, so reject
+		// here rather than rely on the experiment's own entry points.
+		return fmt.Errorf("cbar: seeds %d must be >= 1 (0 = scale default)", opt.Seeds)
+	}
 	b.Workers = opt.Workers
+	b.Adaptive = opt.Adaptive
+	b.CIRelWidth = opt.CIRelWidth
+	b.MaxMeasure = opt.MaxMeasure
 	return e.Run(s.internal(), b, w)
 }
