@@ -174,6 +174,12 @@ type Config struct {
 	// idle cores. 1 forces sequential stepping.
 	Workers int
 
+	// Congestion configures the optional congestion-management layer
+	// (ECN-style marking, source notifications, AIMD injection
+	// throttling, NIC shedding). The zero value leaves it off and
+	// reproduces pre-congestion results bit-identically.
+	Congestion Congestion
+
 	// Micro-architecture (Table I defaults via NewConfig).
 	PacketSize      int // phits per packet
 	VCsInjection    int
@@ -268,6 +274,7 @@ func (c Config) internal() (sim.Config, error) {
 	setIf(&sc.Router.Speedup, c.Speedup)
 	setIf(&sc.Router.NICQueuePackets, c.NICQueuePackets)
 	sc.Router.Workers = c.Workers
+	sc.Router.Congestion = c.Congestion.internal()
 	set32 := func(dst *int32, v int) {
 		if v != 0 {
 			*dst = int32(v)

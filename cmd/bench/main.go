@@ -64,10 +64,25 @@ type EndToEnd struct {
 
 // Report is the file schema of BENCH_step.json.
 type Report struct {
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Benchtime is the effective per-benchmark measurement time the
+	// suite ran under ("1s" unless -benchtime overrode it). Compare runs
+	// hard-fail on a benchtime mismatch: a shorter window inflates
+	// allocs/op (one-off amortized allocations stop averaging out), so a
+	// baseline and a gate run at different benchtimes are not comparable.
+	Benchtime  string        `json:"benchtime,omitempty"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 	EndToEnd   EndToEnd      `json:"end_to_end"`
+}
+
+// effectiveBenchtime normalizes a -benchtime flag value to the recorded
+// form: the testing package's default 1s when unset.
+func effectiveBenchtime(flagValue string) string {
+	if flagValue == "" {
+		return "1s"
+	}
+	return flagValue
 }
 
 // stepBench returns a benchmark function measuring one injected cycle,
@@ -183,6 +198,13 @@ func compareBaseline(path string, fresh Report, nsWarnOnly bool) int {
 	var base Report
 	if err := json.Unmarshal(data, &base); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: parsing baseline %s: %v\n", path, err)
+		return 2
+	}
+	// Baselines written before the field was recorded ran at the default.
+	if effectiveBenchtime(base.Benchtime) != fresh.Benchtime {
+		fmt.Fprintf(os.Stderr,
+			"bench: benchtime mismatch: gate run measured at %s but baseline %s was recorded at %s; rerun with -benchtime %s (or refresh the baseline)\n",
+			fresh.Benchtime, path, effectiveBenchtime(base.Benchtime), effectiveBenchtime(base.Benchtime))
 		return 2
 	}
 	baseline := make(map[string]BenchResult, len(base.Benchmarks))
@@ -328,7 +350,11 @@ func main() {
 		{"StepSmallBurstDrain", 0, burstDrainBench(&burstCycles)},
 	}
 
-	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  effectiveBenchtime(*benchtime),
+	}
 	for _, s := range suite {
 		if *compare != "" && s.name == "StepSmallBurstDrain" {
 			continue // composite op; ns/op is dominated by drain length, not Step cost

@@ -36,6 +36,7 @@ func main() {
 		post      = flag.Int64("post", 0, "transient trace length after the switch")
 		baseTh    = flag.Int("th", 0, "override the Base/ECtN contention threshold")
 		workers   = flag.Int("workers", 0, "shard workers per simulated network (0 = auto, 1 = sequential; results are identical at any count)")
+		congSpec  = flag.String("congestion", "off", "congestion management: off | on | on:key=val,... (keys: mark notify shed dec rec every hold min)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,10 @@ func main() {
 		cfg.BaseTh = *baseTh
 	}
 	cfg.Workers = *workers
+
+	cong, err := cbar.ParseCongestion(*congSpec)
+	die(err)
+	cfg.Congestion = cong
 
 	traf, err := cbar.ParseTraffic(*trafName)
 	die(err)
@@ -93,6 +98,12 @@ func main() {
 	fmt.Printf("util_local_links:     %.1f%%\n", 100*res.UtilLocal)
 	fmt.Printf("util_global_links:    %.1f%%\n", 100*res.UtilGlobal)
 	fmt.Printf("packets_measured:     %d (over %d seeds)\n", res.Delivered, res.Seeds)
+	if cong.Enabled {
+		fmt.Printf("congestion_marked:    %d packets\n", res.Marked)
+		fmt.Printf("congestion_notified:  %d notifications\n", res.Notified)
+		fmt.Printf("congestion_throttled: %d injection attempts\n", res.Throttled)
+		fmt.Printf("congestion_shed:      %d packets\n", res.Shed)
+	}
 }
 
 func die(err error) {

@@ -33,11 +33,15 @@ func main() {
 		adaptive  = flag.Bool("adaptive", false, "adaptive measurement for steady-state points: MSER warmup truncation + batch-means CI stopping + saturation short-circuit (statistically equivalent, much cheaper on converged points; transient traces keep fixed windows)")
 		ciRel     = flag.Float64("ci", 0, "adaptive: target relative 95% CI half-width (0 = 0.05)")
 		maxMeas   = flag.Int64("maxmeasure", 0, "adaptive: hard cap on measured cycles per seed (0 = 4x the scale's fixed window)")
+		congSpec  = flag.String("congestion", "off", "congestion management for every simulation of the experiment: off | on | on:key=val,... (keys: mark notify shed dec rec every hold min)")
 		outDir    = flag.String("out", "", "directory for CSV files (default: stdout)")
 	)
 	flag.Parse()
 
 	scale, err := cbar.ParseScale(*scaleName)
+	die(err)
+
+	cong, err := cbar.ParseCongestion(*congSpec)
 	die(err)
 
 	var ids []string
@@ -66,6 +70,7 @@ func main() {
 		opt := cbar.ExperimentOptions{
 			Seeds: *seeds, Workers: *workers,
 			Adaptive: *adaptive, CIRelWidth: *ciRel, MaxMeasure: *maxMeas,
+			Congestion: cong,
 		}
 		if *outDir == "" {
 			die(cbar.RunExperimentOpts(id, scale, opt, os.Stdout))

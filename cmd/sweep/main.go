@@ -24,6 +24,15 @@
 // measured_cycles, warmup_cycles, saturated, converged columns; without
 // it the output is byte-identical to previous releases (pinned by
 // testdata/golden).
+//
+// -congestion enables the congestion-management layer (ECN-style port
+// marking, source notifications, AIMD injection throttling, NIC
+// shedding) and appends marked, notified, throttled, shed counter
+// columns; "off" (the default) keeps the layer out of the simulation
+// and the CSV byte-identical to previous releases:
+//
+//	sweep -traffic hotspot:0.3,8 -routing base -congestion on
+//	sweep -congestion on:mark=80,shed=8,min=20
 package main
 
 import (
@@ -49,6 +58,7 @@ func main() {
 		adaptive  = flag.Bool("adaptive", false, "adaptive measurement: MSER warmup truncation + batch-means CI stopping + saturation short-circuit instead of fixed windows (-warmup caps the warmup, -measure sizes the default cap); adds CI/cost columns to the CSV")
 		ciRel     = flag.Float64("ci", 0, "adaptive: target relative 95% CI half-width on mean latency and throughput (0 = 0.05)")
 		maxMeas   = flag.Int64("maxmeasure", 0, "adaptive: hard cap on measured cycles per seed (0 = 4x the measurement window)")
+		congSpec  = flag.String("congestion", "off", "congestion management: off | on | on:key=val,... (keys: mark notify shed dec rec every hold min); adds marked,notified,throttled,shed columns when enabled")
 	)
 	flag.Parse()
 
@@ -69,6 +79,9 @@ func main() {
 	traf, err := cbar.ParseTraffic(*trafName)
 	die(err)
 
+	cong, err := cbar.ParseCongestion(*congSpec)
+	die(err)
+
 	var loads []float64
 	for _, f := range strings.Split(*loadsCSV, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -84,6 +97,9 @@ func main() {
 	if *adaptive {
 		header += ",ci_half_latency,measured_cycles,warmup_cycles,saturated,converged"
 	}
+	if cong.Enabled {
+		header += ",marked,notified,throttled,shed"
+	}
 	fmt.Println(header)
 	opt := cbar.SteadyOptions{
 		Warmup: *warmup, Measure: *measure, Seeds: *seeds,
@@ -92,6 +108,7 @@ func main() {
 	for _, a := range algos {
 		cfg := cbar.NewConfig(scale, a)
 		cfg.Workers = *workers
+		cfg.Congestion = cong
 		rs, err := cbar.Sweep(cfg, traf, loads, opt)
 		die(err)
 		for _, r := range rs {
@@ -100,6 +117,10 @@ func main() {
 			if *adaptive {
 				row += fmt.Sprintf(",%.2f,%d,%d,%t,%t",
 					r.CIHalfLatency, r.MeasuredCycles, r.WarmupCycles, r.Saturated, r.Converged)
+			}
+			if cong.Enabled {
+				row += fmt.Sprintf(",%d,%d,%d,%d",
+					r.Marked, r.Notified, r.Throttled, r.Shed)
 			}
 			fmt.Println(row)
 		}

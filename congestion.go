@@ -1,0 +1,118 @@
+package cbar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cbar/internal/router"
+)
+
+// Congestion configures the optional congestion-management layer:
+// ECN-style marking at hot output ports, delayed notifications back to
+// the traffic source, a per-source AIMD injection throttle and NIC-side
+// packet shedding under saturation. The zero value leaves the layer off,
+// in which case the simulation is bit-identical to a build without it.
+// With Enabled set, zero-valued knobs take their documented defaults.
+type Congestion struct {
+	// Enabled turns the layer on.
+	Enabled bool
+	// MarkPct is the output-port occupancy threshold, in percent of the
+	// port's credit capacity, above which traversing packets are marked
+	// (default 70).
+	MarkPct int
+	// NotifyLatency is the delay in cycles between a marked packet's
+	// delivery and the congestion notification reaching its source's
+	// injection throttle (default LatencyLocal+LatencyGlobal).
+	NotifyLatency int
+	// ShedCap is the NIC backlog, in packets, at which new injections
+	// are shed instead of queued (default NICQueuePackets/4).
+	ShedCap int
+	// DecreasePct is the AIMD multiplicative-decrease factor in percent:
+	// a notification cuts the source's injection rate to this fraction
+	// of its current value (default 50).
+	DecreasePct int
+	// RecoverPct is the additive-increase step in percentage points of
+	// line rate (default 5).
+	RecoverPct int
+	// RecoverEvery is the additive-increase period in cycles
+	// (default 2x NotifyLatency).
+	RecoverEvery int64
+	// HoldCycles is the post-decrease hold-off during which further
+	// notifications are ignored, absorbing the in-flight notification
+	// wave from a single congestion event (default NotifyLatency).
+	HoldCycles int64
+	// MinRatePct floors the throttled injection rate in percent of line
+	// rate (default 10).
+	MinRatePct int
+}
+
+func (g Congestion) internal() router.CongestionConfig {
+	return router.CongestionConfig{
+		Enabled:       g.Enabled,
+		MarkPct:       g.MarkPct,
+		NotifyLatency: g.NotifyLatency,
+		ShedCap:       g.ShedCap,
+		DecreasePct:   g.DecreasePct,
+		RecoverPct:    g.RecoverPct,
+		RecoverEvery:  g.RecoverEvery,
+		HoldCycles:    g.HoldCycles,
+		MinRatePct:    g.MinRatePct,
+	}
+}
+
+// ParseCongestion resolves a congestion-management specification string:
+//
+//	"off"                        layer disabled (the default)
+//	"on"                         enabled with all defaults
+//	"on:mark=80,shed=8"          enabled with overrides
+//
+// Recognised keys: mark (MarkPct), notify (NotifyLatency), shed
+// (ShedCap), dec (DecreasePct), rec (RecoverPct), every (RecoverEvery),
+// hold (HoldCycles), min (MinRatePct). Values are validated against the
+// simulated configuration when the network is built.
+func ParseCongestion(s string) (Congestion, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	switch ls {
+	case "", "off":
+		return Congestion{}, nil
+	case "on":
+		return Congestion{Enabled: true}, nil
+	}
+	rest, ok := strings.CutPrefix(ls, "on:")
+	if !ok {
+		return Congestion{}, fmt.Errorf("cbar: congestion spec %q must be off | on | on:key=val,... (keys: mark notify shed dec rec every hold min)", s)
+	}
+	g := Congestion{Enabled: true}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Congestion{}, fmt.Errorf("cbar: congestion option %q in %q is not key=val", kv, s)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return Congestion{}, fmt.Errorf("cbar: bad congestion value in %q: %v", kv, err)
+		}
+		switch strings.TrimSpace(key) {
+		case "mark":
+			g.MarkPct = n
+		case "notify":
+			g.NotifyLatency = n
+		case "shed":
+			g.ShedCap = n
+		case "dec":
+			g.DecreasePct = n
+		case "rec":
+			g.RecoverPct = n
+		case "every":
+			g.RecoverEvery = int64(n)
+		case "hold":
+			g.HoldCycles = int64(n)
+		case "min":
+			g.MinRatePct = n
+		default:
+			return Congestion{}, fmt.Errorf("cbar: unknown congestion option %q in %q (mark notify shed dec rec every hold min)", key, s)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,72 @@
+package cbar
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCongestion(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Congestion
+	}{
+		{"off", Congestion{}},
+		{"", Congestion{}},
+		{"on", Congestion{Enabled: true}},
+		{"ON", Congestion{Enabled: true}},
+		{"on:mark=80", Congestion{Enabled: true, MarkPct: 80}},
+		{"on:mark=80,shed=8,min=20", Congestion{Enabled: true, MarkPct: 80, ShedCap: 8, MinRatePct: 20}},
+		{"on:notify=50,dec=60,rec=10,every=200,hold=100",
+			Congestion{Enabled: true, NotifyLatency: 50, DecreasePct: 60, RecoverPct: 10, RecoverEvery: 200, HoldCycles: 100}},
+	}
+	for _, tc := range cases {
+		got, err := ParseCongestion(tc.spec)
+		if err != nil {
+			t.Errorf("ParseCongestion(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseCongestion(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"maybe", "on:mark", "on:mark=x", "on:bogus=1", "off:mark=80"} {
+		if _, err := ParseCongestion(bad); err == nil {
+			t.Errorf("ParseCongestion(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCongestionConfigValidated pins that bad knob values surface from
+// the public entry points instead of silently misconfiguring the layer.
+func TestCongestionConfigValidated(t *testing.T) {
+	cfg := NewConfig(Tiny, Base)
+	cfg.Congestion = Congestion{Enabled: true, MarkPct: 150}
+	_, err := RunSteady(cfg, Uniform(), 0.1, SteadyOptions{Warmup: 10, Measure: 10, Seeds: 1})
+	if err == nil || !strings.Contains(err.Error(), "mark") {
+		t.Fatalf("MarkPct=150 surfaced no mark-threshold error, got %v", err)
+	}
+}
+
+// TestCongestionSteadyCounters pins the public result plumbing: an
+// enabled hotspot run reports nonzero congestion counters, a disabled
+// one reports all zeros.
+func TestCongestionSteadyCounters(t *testing.T) {
+	cfg := NewConfig(Tiny, Base)
+	opt := SteadyOptions{Warmup: 400, Measure: 400, Seeds: 1}
+	off, err := RunSteady(cfg, Hotspot(0.3, 8), 0.7, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Marked != 0 || off.Notified != 0 || off.Throttled != 0 || off.Shed != 0 {
+		t.Fatalf("congestion-off counters nonzero: %+v", off)
+	}
+	cfg.Congestion = Congestion{Enabled: true}
+	on, err := RunSteady(cfg, Hotspot(0.3, 8), 0.7, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Marked == 0 || on.Notified == 0 || on.Throttled == 0 {
+		t.Fatalf("congestion-on counters empty: marked=%d notified=%d throttled=%d",
+			on.Marked, on.Notified, on.Throttled)
+	}
+}

@@ -121,6 +121,43 @@
 // Bernoulli case bypasses the calendar entirely on the original
 // skip-sampling fast path, bit-identically.
 //
+// # Congestion management
+//
+// Config.Congestion (cmd/sweep, cmd/figures and cmd/dfsim -congestion,
+// specs parsed by ParseCongestion) enables a closed-loop
+// congestion-control layer modeled on the ECN-style notification
+// schemes of the congestion-management literature (Rocher-Gonzalez et
+// al.). Four mechanisms compose:
+//
+//   - Marking: every output port above MarkPct of its credit capacity
+//     is mark-hot (maintained by the same threshold watchers PB's
+//     saturation flags use, so the hot path stays O(1)); packets
+//     granted through a hot port carry a congestion mark to delivery,
+//     like an ECN bit piggybacked on the payload.
+//   - Notification: a marked delivery schedules a notification back to
+//     the source on the event calendar, NotifyLatency cycles later —
+//     the signal travels at realistic link latency, it does not
+//     teleport.
+//   - AIMD throttling: each notification multiplicatively cuts the
+//     source NIC's injection rate (DecreasePct, floored at MinRatePct,
+//     with a HoldCycles hold-off absorbing the in-flight notification
+//     wave of a single event); the rate recovers additively
+//     (RecoverPct per RecoverEvery cycles). A throttled node's
+//     injection attempts are paced — calendar sources are deferred,
+//     not dropped; Bernoulli attempts are suppressed at the source.
+//   - Graceful degradation: NIC backlog at ShedCap sheds new packets
+//     (counted in SteadyResult.Shed) instead of queueing them, so
+//     source queues stay bounded under sustained overload.
+//
+// SteadyResult reports the loop's activity (Marked, Notified,
+// Throttled, Shed); cmd/sweep appends them as CSV columns behind
+// -congestion. The layer preserves both determinism contracts: with
+// congestion off every simulation is bit-identical to previous
+// releases (the golden CSVs pin it), and with it on, results are
+// bit-identical at every worker count — notifications are replayed at
+// the cycle's sequential point in ascending source-node order (pinned
+// by TestParallelCongestionEquivalence).
+//
 // # Performance architecture
 //
 // The per-cycle cost of the simulator scales with traffic, not topology

@@ -1,0 +1,50 @@
+// Congestion management: drive a hotspot workload past its saturation
+// knee with the congestion-control layer off and on, and compare what
+// the fabric sustains. With 30% of all traffic aimed at 8 hot nodes,
+// the ejection ports of the hot routers saturate long before the
+// network does; the uncontrolled run lets the backlog fill every queue
+// on the way there, while the controlled run marks packets crossing hot
+// ports, notifies the sources, and throttles them at the NIC — trading
+// source-side shedding for shorter queues and higher goodput.
+//
+// Run with:
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbar"
+)
+
+func main() {
+	cfg := cbar.NewConfig(cbar.Tiny, cbar.Base)
+	traf := cbar.Hotspot(0.3, 8)
+	opt := cbar.SteadyOptions{Warmup: 1200, Measure: 1200, Seeds: 3}
+
+	fmt.Printf("network: %d nodes; traffic %s\n", cfg.Nodes(), traf.Name())
+	fmt.Println("\nload   mode  latency(cyc)  accepted  marked  notified  throttled  shed")
+	for _, load := range []float64{0.3, 0.5, 0.7} {
+		for _, cong := range []string{"off", "on"} {
+			c := cfg
+			g, err := cbar.ParseCongestion(cong)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.Congestion = g
+			res, err := cbar.RunSteady(c, traf, load, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%.2f   %-4s  %10.1f    %.4f   %6d  %8d  %9d  %4d\n",
+				load, cong, res.AvgLatency, res.Accepted,
+				res.Marked, res.Notified, res.Throttled, res.Shed)
+		}
+	}
+	fmt.Println("\nPast the knee the controlled run accepts at least as much as the")
+	fmt.Println("uncontrolled one at lower latency: the AIMD throttle holds excess")
+	fmt.Println("demand at the sources (throttled/shed) instead of parking it in")
+	fmt.Println("the fabric's queues.")
+}

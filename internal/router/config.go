@@ -77,6 +77,11 @@ type Config struct {
 	// above the group count are clamped to it. Results are
 	// cycle-for-cycle identical at every worker count.
 	Workers int
+
+	// Congestion configures the ECN-style congestion-management loop
+	// (see congestion.go). The zero value disables it, leaving results
+	// bit-identical to a configuration without the subsystem.
+	Congestion CongestionConfig
 }
 
 // DefaultConfig returns the Table I configuration for the given topology
@@ -156,6 +161,11 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("router: workers %d < 0", c.Workers)
+	}
+	if c.Congestion.Enabled {
+		if err := c.Congestion.Resolved(c).validate(c); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -24,6 +24,11 @@ const (
 	// evDeliver: pkt fully consumed by the node on ejection channel
 	// (router, port).
 	evDeliver
+	// evNotify: a congestion notification reaches the shard of source
+	// node `size`'s router (`router`), with severity vc = the delivered
+	// packet's mark count. Carries no packet pointer: it outlives the
+	// packet's delivery and freelist recycling (see congestion.go).
+	evNotify
 )
 
 type event struct {
@@ -102,6 +107,15 @@ type Network struct {
 	DeliveredPhits uint64
 	InFlight       int64
 
+	// Congestion-management counters; all stay zero unless
+	// Cfg.Congestion.Enabled (see congestion.go).
+	NumMarked   uint64 // delivered packets carrying at least one ECN mark
+	NumNotified uint64 // congestion notifications delivered to sources
+	NumShed     uint64 // injection attempts shed at the NIC shed cap
+
+	// notifyScratch is replayNotifications' reusable gather buffer.
+	notifyScratch []notifyRec
+
 	// OnDeliver, when non-nil, observes every delivered packet at its
 	// delivery cycle (tail consumed by the destination node). Deliveries
 	// are collected per shard during event handling and replayed at the
@@ -111,6 +125,18 @@ type Network struct {
 	// treat the network as read-only and may retain the packet's fields
 	// only for the duration of the call.
 	OnDeliver func(p *Packet, now int64)
+
+	// OnNotify, when non-nil, observes every congestion notification at
+	// the cycle it reaches its source: node is the source node the
+	// notification targets, sev the delivered packet's mark count.
+	// Notifications are collected per shard during event handling and
+	// replayed at the handle barrier in ascending node order
+	// (replayNotifications), so the callback sequence is bit-identical
+	// at every worker count. It runs at a sequential point and may
+	// mutate its own (source-side) state freely, but must treat the
+	// network as read-only. The traffic package's AIMD throttle is the
+	// intended consumer.
+	OnNotify func(node, sev int, now int64)
 }
 
 // Build constructs a network for cfg with the given routing algorithm and
@@ -126,6 +152,9 @@ func Build(cfg Config, alg Algorithm, seed uint64) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Store the congestion configuration resolved, so everything
+	// downstream (the traffic throttle included) reads concrete values.
+	cfg.Congestion = cfg.Congestion.Resolved(cfg)
 	n := &Network{Cfg: cfg, Topo: topo, Alg: alg, seed: seed}
 
 	workers := cfg.Workers
@@ -152,6 +181,11 @@ func Build(cfg Config, alg Algorithm, seed uint64) (*Network, error) {
 
 	horizon := max64(int64(cfg.LatencyGlobal), int64(cfg.LatencyLocal)) +
 		int64(cfg.PipelineLatency) + int64(cfg.PacketSize) + 8
+	if cfg.Congestion.Enabled {
+		// Congestion notifications are scheduled NotifyLatency cycles
+		// past the delivery cycle; the ring must cover that reach.
+		horizon = max64(horizon, int64(cfg.Congestion.NotifyLatency)+1)
+	}
 	ringSize := int64(1)
 	for ringSize < horizon {
 		ringSize <<= 1
@@ -201,6 +235,26 @@ func Build(cfg Config, alg Algorithm, seed uint64) (*Network, error) {
 	}
 	for i := range n.nics {
 		n.nics[i].q.shrinkCap = nicShrink
+	}
+	if cfg.Congestion.Enabled {
+		// ECN marking: an occupancy watcher per non-ejection output port
+		// keeps the port's mark state current at the crossing instants,
+		// so the allocator's hot path reads one bool (see congestion.go).
+		// Ejection channels are skipped — their occupancy cap is
+		// dominated by the infinite ejection credit pool, so a
+		// percentage threshold there is meaningless.
+		for _, r := range n.Routers {
+			for port := range r.out {
+				o := &r.out[port]
+				if o.kind == Injection {
+					continue
+				}
+				o.markTh = o.occCap * int32(cfg.Congestion.MarkPct) / 100
+				n.WatchOccupancy(r.ID, port, o.markTh, func(above bool) {
+					o.ecnHot = above
+				})
+			}
+		}
 	}
 	alg.Attach(n)
 	return n, nil
@@ -257,6 +311,14 @@ func portKind(t *topology.Dragonfly, port int) PortKind {
 // called while a Step is in progress.
 func (n *Network) Inject(src, dst int) bool {
 	q := &n.nics[src]
+	if n.Cfg.Congestion.Enabled && q.len() >= n.Cfg.Congestion.ShedCap {
+		// Graceful degradation: past the shed cap the NIC drops new
+		// packets explicitly (counted, never silent) instead of growing
+		// its backlog to NICQueuePackets — a saturated source reaches a
+		// stable bounded operating point (see congestion.go).
+		n.NumShed++
+		return false
+	}
 	if q.len() >= n.Cfg.NICQueuePackets {
 		n.NumBlocked++
 		return false
@@ -338,6 +400,7 @@ func (n *Network) Step() {
 	}
 	sh.ring[idx] = bucket[:0]
 	n.replayDeliveries()
+	n.replayNotifications()
 
 	n.Alg.BeginCycle(n)
 
@@ -569,6 +632,14 @@ func (n *Network) handle(ev *event) {
 		// reproduces the sequential callback order exactly.
 		sh := n.Routers[ev.router].shard
 		sh.delivered = append(sh.delivered, ev.pkt)
+
+	case evNotify:
+		// Collected per shard and replayed at the handle barrier
+		// (replayNotifications), like deliveries: the handle phase stays
+		// free of global mutations and the source-side callback runs at
+		// a sequential point.
+		sh := n.Routers[ev.router].shard
+		sh.notified = append(sh.notified, notifyRec{node: ev.size, sev: ev.vc})
 	}
 }
 
@@ -587,6 +658,21 @@ func (n *Network) replayDeliveries() {
 			n.NumDelivered++
 			n.DeliveredPhits += uint64(p.Size)
 			n.InFlight--
+			if p.ECNMarks > 0 {
+				// The destination echoes the congestion marks back to the
+				// source as an evNotify, one reverse-path latency later.
+				// This runs at a sequential point, so appending straight
+				// onto the target shard's ring is safe at any worker
+				// count (the same contract Inject relies on), and the
+				// event carries no packet pointer — the packet is
+				// recycled below.
+				n.NumMarked++
+				src := p.Src
+				rtr := int32(n.Topo.RouterOfNode(int(src)))
+				n.scheduleFrom(n.Routers[rtr].shard,
+					n.now+int64(n.Cfg.Congestion.NotifyLatency),
+					event{kind: evNotify, router: rtr, vc: p.ECNMarks, size: src})
+			}
 			if n.OnDeliver != nil {
 				// The packet's fields are stable for the duration of the
 				// callback; after it returns the packet may be recycled.
@@ -601,6 +687,45 @@ func (n *Network) replayDeliveries() {
 		}
 		sh.delivered = sh.delivered[:0]
 	}
+}
+
+// replayNotifications applies the congestion notifications collected
+// during the handle phase, sorted into ascending source-node order
+// (stable, so multiple notifications for one node keep their delivery
+// order): NumNotified and the OnNotify callback. Distinct-node updates
+// commute, but the sort makes the callback order itself — not just the
+// end state — identical at every worker count, which is the contract
+// OnNotify documents. Like replayDeliveries it runs at a sequential
+// point, so the consumer may be arbitrary single-threaded code.
+func (n *Network) replayNotifications() {
+	total := 0
+	for s := range n.shards {
+		total += len(n.shards[s].notified)
+	}
+	if total == 0 {
+		return
+	}
+	buf := n.notifyScratch[:0]
+	for s := range n.shards {
+		sh := &n.shards[s]
+		buf = append(buf, sh.notified...)
+		sh.notified = sh.notified[:0]
+	}
+	// Stable insertion sort by node: a cycle rarely carries more than a
+	// handful of notifications, and each shard's slice is already in a
+	// deterministic per-shard order.
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j-1].node > buf[j].node; j-- {
+			buf[j-1], buf[j] = buf[j], buf[j-1]
+		}
+	}
+	for _, rec := range buf {
+		n.NumNotified++
+		if n.OnNotify != nil {
+			n.OnNotify(int(rec.node), int(rec.sev), n.now)
+		}
+	}
+	n.notifyScratch = buf[:0]
 }
 
 // WatchOccupancy registers fn to fire whenever the occupancy of output
@@ -654,6 +779,9 @@ func (n *Network) CheckInvariants() error {
 		sh := &n.shards[s]
 		if len(sh.delivered) != 0 {
 			return fmt.Errorf("router: shard %d holds %d unreplayed deliveries between cycles", s, len(sh.delivered))
+		}
+		if len(sh.notified) != 0 {
+			return fmt.Errorf("router: shard %d holds %d unreplayed congestion notifications between cycles", s, len(sh.notified))
 		}
 		for t, mb := range sh.outbox {
 			if len(mb) != 0 {

@@ -66,6 +66,12 @@ type Packet struct {
 	// incremented (-1 when none).
 	CountedLink int16
 
+	// ECNMarks counts the congestion-marked output ports this packet was
+	// granted through (saturating at 127). Always zero unless congestion
+	// management is enabled; on delivery it becomes the severity of the
+	// notification echoed to the source (see congestion.go).
+	ECNMarks int8
+
 	// --- per-queue transient state (reset on every enqueue) ---
 
 	// TailArrive is the cycle the packet's tail finishes arriving into

@@ -61,6 +61,15 @@ type outPort struct {
 	occCap   int32
 	watchers []occWatcher
 
+	// ECN mark state (congestion.go): ecnHot is flipped by the
+	// occupancy watcher registered at Build whenever occ crosses markTh
+	// (occCap scaled by the configured mark percentage), so the
+	// allocator's marking check is a single bool read. markTh is -1 when
+	// this port does not mark (congestion disabled, or an ejection
+	// channel).
+	ecnHot bool
+	markTh int32
+
 	q          fifo[outEntry] // output buffer FIFO
 	linkFreeAt int64
 
@@ -191,6 +200,7 @@ func newRouter(id int, net *Network) *Router {
 		op := &r.out[port]
 		op.kind = kind
 		op.q.shrinkCap = outQueueShrinkCap
+		op.markTh = -1
 		op.latency = int64(cfg.LatencyFor(kind))
 		op.outCap = int32(cfg.BufOut)
 		op.outFree = op.outCap
@@ -364,6 +374,11 @@ func (r *Router) checkInvariants() error {
 		}
 		if occCap != o.occCap {
 			return fmt.Errorf("router %d out %d: occupancy cap %d but recompute %d", r.ID, port, o.occCap, occCap)
+		}
+		// The watcher-maintained mark state must agree with a fresh
+		// threshold comparison.
+		if o.markTh >= 0 && o.ecnHot != (o.occ > o.markTh) {
+			return fmt.Errorf("router %d out %d: mark state %v but occupancy %d vs threshold %d", r.ID, port, o.ecnHot, o.occ, o.markTh)
 		}
 	}
 	var totQueued, totUnrouted int32

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+
 	"cbar/internal/router"
 	"cbar/internal/stats"
 	"cbar/internal/traffic"
@@ -49,8 +51,14 @@ const (
 	// adaptiveMinMeasureBuckets is the minimum measurement series length
 	// before the first CI check (2 buckets per batch).
 	adaptiveMinMeasureBuckets = 2 * adaptiveBatches
-	// satWindow is the saturation detector's trailing window in buckets.
+	// satWindow is the saturation detector's default trailing window in
+	// buckets; a bursty source spec widens it to cover several ON+OFF
+	// periods (newSatDetector).
 	satWindow = 30
+	// satBurstPeriods is how many source ON+OFF periods the widened
+	// window must cover under a bursty spec: shorter windows alias the
+	// periodic backlog breathing of long phases as unbounded growth.
+	satBurstPeriods = 3
 	// satBlockedFrac is the blocked-injection fraction above which the
 	// sources are considered throttled by full NIC queues.
 	satBlockedFrac = 0.05
@@ -81,7 +89,13 @@ func measureSeed(c Config, w Workload, load float64, b Budget, seed uint64) (Ste
 // per bucket; the decision looks at a trailing window and must fire on
 // consecutive checks.
 type satDetector struct {
-	nodes    float64
+	nodes float64
+	// window is the trailing decision window in buckets: satWindow for
+	// memoryless sources, widened to satBurstPeriods ON+OFF periods for
+	// bursty ones (a window shorter than the source period sees the ON
+	// phase's backlog ramp as monotone growth and the OFF phase's
+	// blocked spike as throttling, and false-positives on healthy runs).
+	window   int
 	inflight []float64
 	blocked  []float64
 	offered  []float64
@@ -90,8 +104,15 @@ type satDetector struct {
 	hits     int
 }
 
-func newSatDetector(net *router.Network) *satDetector {
-	return &satDetector{nodes: float64(net.Topo.Nodes)}
+func newSatDetector(net *router.Network, src SourceSpec) *satDetector {
+	d := &satDetector{nodes: float64(net.Topo.Nodes), window: satWindow}
+	if src.Bursty {
+		period := src.OnMean + src.OffMean
+		if w := int(math.Ceil(satBurstPeriods * period / adaptiveBucket)); w > d.window {
+			d.window = w
+		}
+	}
+	return d
 }
 
 // sample records the bucket-end backlog and the bucket's injection
@@ -108,14 +129,14 @@ func (d *satDetector) sample(net *router.Network) {
 // saturated evaluates the trailing window; call once per check stride.
 func (d *satDetector) saturated() bool {
 	n := len(d.inflight)
-	if n < satWindow {
+	if n < d.window {
 		return false
 	}
-	win := d.inflight[n-satWindow:]
+	win := d.inflight[n-d.window:]
 	meanIF := stats.Mean(win)
-	growth := stats.TrendSlope(win) * satWindow
+	growth := stats.TrendSlope(win) * float64(d.window)
 	var blk, off float64
-	for i := n - satWindow; i < n; i++ {
+	for i := n - d.window; i < n; i++ {
 		blk += d.blocked[i]
 		off += d.offered[i]
 	}
@@ -193,7 +214,7 @@ func adaptiveSeed(c Config, w Workload, load float64, b Budget, seed uint64) (St
 		}
 	}
 
-	sat := newSatDetector(net)
+	sat := newSatDetector(net, w.Source)
 	saturated := false
 
 	// Phase 1: warmup detection. The latency series carries the last
@@ -228,6 +249,7 @@ func adaptiveSeed(c Config, w Workload, load float64, b Budget, seed uint64) (St
 	// Phase boundary: everything before this cycle is discarded warmup.
 	truncWarm := cyc
 	var busyLocal0, busyGlobal0 int64
+	var marked0, notified0, shed0, throttled0 uint64
 	var ciLat, ciAcc float64
 	converged := false
 	measStart := cyc
@@ -236,6 +258,8 @@ func adaptiveSeed(c Config, w Workload, load float64, b Budget, seed uint64) (St
 		hops.Reset()
 		phits, misG, misL, counted = 0, 0, 0, 0
 		_, busyLocal0, busyGlobal0 = net.LinkBusy()
+		marked0, notified0, shed0 = net.NumMarked, net.NumNotified, net.NumShed
+		throttled0 = inj.Throttled()
 
 		// Phase 2: CI-driven measurement.
 		var latB, thrB []float64
@@ -303,6 +327,10 @@ func adaptiveSeed(c Config, w Workload, load float64, b Budget, seed uint64) (St
 		WarmupCycles:   truncWarm,
 		Saturated:      saturated,
 		Converged:      converged,
+		Marked:         net.NumMarked - marked0,
+		Notified:       net.NumNotified - notified0,
+		Throttled:      inj.Throttled() - throttled0,
+		Shed:           net.NumShed - shed0,
 	}
 	if counted > 0 {
 		res.MisroutedGlobal = float64(misG) / float64(counted)

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"cbar/internal/router"
+)
 
 // Budget sizes an experiment run: simulation windows, repeats and the
 // offered-load grid. The paper's evaluation (Table I scale) uses long
@@ -32,6 +36,10 @@ type Budget struct {
 	// entry point split GOMAXPROCS between its grid and intra-run
 	// sharding automatically; results are identical either way.
 	Workers int
+	// Congestion is threaded into every simulation of the experiment
+	// (router.Config.Congestion). The zero value leaves congestion
+	// management off, reproducing pre-congestion results bit-identically.
+	Congestion router.CongestionConfig
 
 	// Adaptive switches steady-state measurement from the fixed
 	// Warmup+Measure windows to the adaptive engine (MSER warmup
@@ -137,6 +145,9 @@ func (b Budget) validateTransient() error {
 	}
 	if b.TransientWarmup < b.Pre {
 		return fmt.Errorf("sim: transient warmup %d is shorter than the pre-switch trace extent %d", b.TransientWarmup, b.Pre)
+	}
+	if b.PostLong != 0 && b.PostLong < b.Bucket {
+		return fmt.Errorf("sim: bucket width %d exceeds long post-switch trace extent %d", b.Bucket, b.PostLong)
 	}
 	return nil
 }

@@ -123,6 +123,7 @@ func sweepSteady(s Scale, algos []routing.Algo, w Workload, loads []float64, b B
 	err := forEachTaskN(len(jobs), taskWorkers, func(i int) error {
 		cfg := NewConfig(s.Params(), jobs[i].key.algo)
 		cfg.Router.Workers = perRun
+		cfg.Router.Congestion = b.Congestion
 		if mutate != nil {
 			mutate(&cfg)
 		}
@@ -197,6 +198,7 @@ func runFig6(s Scale, b Budget, w io.Writer) error {
 	for _, frac := range fracs {
 		for _, a := range adaptiveAlgos {
 			cfg := NewConfig(s.Params(), a)
+			cfg.Router.Congestion = b.Congestion
 			r, err := RunSteadyBudget(cfg, MixUN(frac, 1), load, b)
 			if err != nil {
 				return err
@@ -218,12 +220,22 @@ func writeTransientTable(w io.Writer, results []TransientResult) {
 
 func runTransientFigure(s Scale, b Budget, w io.Writer, algos []routing.Algo, post int64,
 	mutate func(*Config), title string) error {
+	// Validate the transient windows this figure will actually run with
+	// (Post or PostLong) before building any network, mirroring the
+	// upfront validateSteady of the sweep experiments — a bad budget
+	// fails in microseconds instead of after the first algorithm's runs.
+	vb := b
+	vb.Post = post
+	if err := vb.validateTransient(); err != nil {
+		return err
+	}
 	load := transientLoad(s)
 	fmt.Fprintf(w, "# %s (UN->ADV+1 at t=0, load %.2f)\n", title, load)
 	results := make([]TransientResult, len(algos))
 	for i, a := range algos {
 		cfg := NewConfig(s.Params(), a)
 		cfg.Router.Workers = b.Workers
+		cfg.Router.Congestion = b.Congestion
 		if mutate != nil {
 			mutate(&cfg)
 		}
@@ -282,6 +294,7 @@ func runFig10(s Scale, b Budget, w io.Writer, workload Workload, ths []int32, re
 		for _, th := range ths {
 			cfg := NewConfig(s.Params(), routing.Base)
 			cfg.Router.Workers = b.Workers
+			cfg.Router.Congestion = b.Congestion
 			cfg.Opts.BaseTh = th
 			r, err := RunSteadyBudget(cfg, workload, l, b)
 			if err != nil {
@@ -292,6 +305,7 @@ func runFig10(s Scale, b Budget, w io.Writer, workload Workload, ths []int32, re
 		// Oblivious reference curve (MIN for UN, VAL for ADV).
 		refCfg := NewConfig(s.Params(), ref)
 		refCfg.Router.Workers = b.Workers
+		refCfg.Router.Congestion = b.Congestion
 		r, err := RunSteadyBudget(refCfg, workload, l, b)
 		if err != nil {
 			return err
@@ -316,6 +330,7 @@ func runFig10b(s Scale, b Budget, w io.Writer) error {
 func runVIA(s Scale, b Budget, w io.Writer) error {
 	cfg := NewConfig(s.Params(), routing.Base)
 	cfg.Router.Workers = b.Workers
+	cfg.Router.Congestion = b.Congestion
 	got, err := MeanSaturatedContention(cfg, 0.95, b.Warmup, b.Measure/4, 1)
 	if err != nil {
 		return err

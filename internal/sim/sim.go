@@ -331,6 +331,13 @@ type SteadyResult struct {
 	// Converged reports that every seed reached the relative-CI target.
 	// Meaningful only in adaptive mode; always false in fixed mode.
 	Converged bool
+	// Congestion-management activity over the measurement windows,
+	// summed across seeds; all zero unless the run's router config
+	// enables congestion management (router.CongestionConfig).
+	Marked    uint64 // delivered packets carrying ECN marks
+	Notified  uint64 // notifications delivered back to sources
+	Throttled uint64 // injection attempts deferred/suppressed by AIMD
+	Shed      uint64 // injection attempts shed at the NIC shed cap
 }
 
 // latencyHistCap bounds the latency histogram; latencies beyond it still
@@ -380,9 +387,12 @@ func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed 
 		counted++
 	}
 	var busyLocal0, busyGlobal0 int64
+	var marked0, notified0, shed0, throttled0 uint64
 	for cyc := int64(0); cyc < warmup+measure; cyc++ {
 		if cyc == warmup {
 			_, busyLocal0, busyGlobal0 = net.LinkBusy()
+			marked0, notified0, shed0 = net.NumMarked, net.NumNotified, net.NumShed
+			throttled0 = inj.Throttled()
 		}
 		inj.Cycle()
 		net.Step()
@@ -401,6 +411,10 @@ func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed 
 		Seeds:          1,
 		MeasuredCycles: measure,
 		WarmupCycles:   warmup,
+		Marked:         net.NumMarked - marked0,
+		Notified:       net.NumNotified - notified0,
+		Throttled:      inj.Throttled() - throttled0,
+		Shed:           net.NumShed - shed0,
 	}
 	if counted > 0 {
 		res.MisroutedGlobal = float64(misG) / float64(counted)
@@ -535,6 +549,7 @@ func reduceSteady(rs []SteadyResult, hists []*stats.Histogram) SteadyResult {
 	out.Saturated, out.Converged = false, true
 	var ciLat2, ciAcc2 float64
 	var warm int64
+	out.Marked, out.Notified, out.Throttled, out.Shed = 0, 0, 0, 0
 	for _, r := range rs {
 		out.MeasuredCycles += r.MeasuredCycles
 		warm += r.WarmupCycles
@@ -542,6 +557,10 @@ func reduceSteady(rs []SteadyResult, hists []*stats.Histogram) SteadyResult {
 		ciAcc2 += r.CIHalfAccepted * r.CIHalfAccepted
 		out.Saturated = out.Saturated || r.Saturated
 		out.Converged = out.Converged && r.Converged
+		out.Marked += r.Marked
+		out.Notified += r.Notified
+		out.Throttled += r.Throttled
+		out.Shed += r.Shed
 	}
 	out.WarmupCycles = warm / int64(len(rs))
 	out.CIHalfLatency = math.Sqrt(ciLat2) / n

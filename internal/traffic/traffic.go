@@ -182,6 +182,9 @@ type Injector struct {
 	// Stateful path (nil src selects the homogeneous fast path).
 	src Source
 	cal calendar
+	// th is the AIMD congestion throttle (nil unless the network's
+	// congestion management is enabled — see throttle.go).
+	th *throttle
 }
 
 // NewInjector builds a homogeneous Bernoulli injector at the given
@@ -194,13 +197,20 @@ func NewInjector(net *router.Network, sched *Schedule, load float64, seed uint64
 	if sched == nil {
 		return nil, fmt.Errorf("traffic: nil schedule")
 	}
-	return &Injector{
+	in := &Injector{
 		net:   net,
 		sched: sched,
 		prob:  load / float64(net.Cfg.PacketSize),
 		load:  load,
 		rng:   rng.New(seed, 0xC0FFEE),
-	}, nil
+	}
+	if cc := net.Cfg.Congestion; cc.Enabled {
+		// Close the congestion loop: the fabric's notifications (already
+		// resolved by Build) drive this injector's per-node AIMD rates.
+		in.th = newThrottle(net.Topo.Nodes, net.Cfg.PacketSize, cc)
+		net.OnNotify = in.th.onNotify
+	}
+	return in, nil
 }
 
 // NewSourceInjector builds a stateful injector whose per-node arrival
@@ -235,6 +245,26 @@ func NewSourceInjector(net *router.Network, sched *Schedule, load float64, seed 
 // phits/(node·cycle).
 func (in *Injector) Load() float64 { return in.load }
 
+// Throttled returns the number of injection attempts the congestion
+// throttle deferred or suppressed so far (zero when congestion
+// management is disabled).
+func (in *Injector) Throttled() uint64 {
+	if in.th == nil {
+		return 0
+	}
+	return in.th.throttled
+}
+
+// RatePct returns node's current congestion-throttle rate in percent of
+// line rate; 100 when unthrottled or when congestion management is
+// disabled.
+func (in *Injector) RatePct(node int) int {
+	if in.th == nil {
+		return 100
+	}
+	return int(in.th.ratePct(node))
+}
+
 // Cycle generates this cycle's traffic; call it once per cycle before
 // Network.Step.
 //
@@ -251,15 +281,26 @@ func (in *Injector) Cycle() {
 	if in.prob <= 0 {
 		return
 	}
-	pat := in.sched.At(in.net.Now())
+	now := in.net.Now()
+	pat := in.sched.At(now)
 	nodes := in.net.Topo.Nodes
 	if in.prob >= 1 {
 		for node := 0; node < nodes; node++ {
+			if in.th != nil && !in.th.admit(node, now) {
+				continue
+			}
 			in.net.Inject(node, pat.Dest(node, in.rng))
 		}
 		return
 	}
 	for node := in.rng.Geometric(in.prob); node < nodes; node += 1 + in.rng.Geometric(in.prob) {
+		if in.th != nil && !in.th.admit(node, now) {
+			// Memoryless process, no calendar entry to defer: the
+			// attempt is suppressed (counted by the throttle) and no
+			// destination is drawn, so the throttled node sheds load at
+			// the source rather than queueing it.
+			continue
+		}
 		in.net.Inject(node, pat.Dest(node, in.rng))
 	}
 }
@@ -277,10 +318,17 @@ func (in *Injector) cycleCalendar() {
 			return
 		}
 		in.cal.pop()
+		node := int(top.node)
+		if in.th != nil && !in.th.admit(node, now) {
+			// Throttled: defer the entry to the node's next allowed
+			// cycle without consuming the arrival (no Next call, no
+			// destination draw) — the packet is delayed, not dropped.
+			in.cal.push(calEntry{t: in.th.nextAllowed(node), node: top.node})
+			continue
+		}
 		if pat == nil {
 			pat = in.sched.At(now)
 		}
-		node := int(top.node)
 		in.net.Inject(node, pat.Dest(node, in.rng))
 		if next, ok := in.src.Next(node, now); ok {
 			in.cal.push(calEntry{t: next, node: top.node})

@@ -123,6 +123,16 @@ type SteadyResult struct {
 	// Converged reports that every seed reached the relative-CI target
 	// (adaptive mode only; always false in fixed mode).
 	Converged bool
+	// Congestion-management activity over the measurement windows,
+	// summed across seeds; all zero unless Config.Congestion is enabled.
+	// Marked counts delivered packets carrying ECN marks, Notified the
+	// notifications replayed to sources, Throttled the injection
+	// attempts deferred or suppressed by the AIMD throttle, and Shed the
+	// injection attempts dropped at the NIC shed cap.
+	Marked    uint64
+	Notified  uint64
+	Throttled uint64
+	Shed      uint64
 }
 
 func fromSimSteady(r sim.SteadyResult) SteadyResult {
@@ -148,6 +158,10 @@ func fromSimSteady(r sim.SteadyResult) SteadyResult {
 		WarmupCycles:    r.WarmupCycles,
 		Saturated:       r.Saturated,
 		Converged:       r.Converged,
+		Marked:          r.Marked,
+		Notified:        r.Notified,
+		Throttled:       r.Throttled,
+		Shed:            r.Shed,
 	}
 }
 
@@ -320,6 +334,10 @@ type ExperimentOptions struct {
 	// MaxMeasure caps the adaptive measurement phase per seed, in
 	// cycles (0 = 4x the scale's fixed measurement window).
 	MaxMeasure int64
+	// Congestion enables the congestion-management layer in every
+	// simulation of the experiment. The zero value keeps it off,
+	// reproducing pre-congestion figures bit-identically.
+	Congestion Congestion
 }
 
 // RunExperimentOpts is RunExperiment with budget overrides.
@@ -340,6 +358,7 @@ func RunExperimentOpts(id string, s Scale, opt ExperimentOptions, w io.Writer) e
 		return fmt.Errorf("cbar: seeds %d must be >= 1 (0 = scale default)", opt.Seeds)
 	}
 	b.Workers = opt.Workers
+	b.Congestion = opt.Congestion.internal()
 	b.Adaptive = opt.Adaptive
 	b.CIRelWidth = opt.CIRelWidth
 	b.MaxMeasure = opt.MaxMeasure
