@@ -180,6 +180,12 @@ type Config struct {
 	// reproduces pre-congestion results bit-identically.
 	Congestion Congestion
 
+	// Faults configures the optional fault-injection plan (scheduled
+	// link/router failures and repairs, random link-failure expansion,
+	// source retransmission). The zero value schedules nothing and
+	// reproduces pre-fault results bit-identically.
+	Faults Faults
+
 	// Micro-architecture (Table I defaults via NewConfig).
 	PacketSize      int // phits per packet
 	VCsInjection    int
@@ -275,6 +281,7 @@ func (c Config) internal() (sim.Config, error) {
 	setIf(&sc.Router.NICQueuePackets, c.NICQueuePackets)
 	sc.Router.Workers = c.Workers
 	sc.Router.Congestion = c.Congestion.internal()
+	sc.Router.Faults = c.Faults.internal()
 	set32 := func(dst *int32, v int) {
 		if v != 0 {
 			*dst = int32(v)

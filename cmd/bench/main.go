@@ -118,6 +118,28 @@ func stepBenchWorkload(s sim.Scale, algo routing.Algo, w sim.Workload, load floa
 	}
 }
 
+// stepBenchFaults measures the injected cycle under a quiescent fault
+// plan (see sim.NewStepBenchFaults): the fault engine is live but never
+// fires, so the entry pins its hot-path overhead against StepSmallIdle.
+func stepBenchFaults(s sim.Scale, algo routing.Algo, load float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		net, inj, err := sim.NewStepBenchFaults(s, algo, load)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen0 := net.NumGenerated
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inj.Cycle()
+			net.Step()
+		}
+		if b.N > 1000 && net.NumGenerated == gen0 {
+			b.Fatal("no traffic generated during measurement")
+		}
+	}
+}
+
 // stepBenchWorkers measures the same injected cycle with the network
 // stepped by `workers` shard workers — the cycles are bit-identical to
 // the sequential stepper's, so the delta against a Workers1 entry is
@@ -320,6 +342,11 @@ func main() {
 		{"StepSmallPB", 0, stepBench(sim.Small, routing.PB, 0.3, false, false)},
 		{"StepSmallIdle", 0, stepBench(sim.Small, routing.Base, 0.01, false, false)},
 		{"StepSmallFullScanIdle", 0, stepBench(sim.Small, routing.Base, 0.01, true, false)},
+		// The faults-idle entry carries a quiescent fault plan (one event
+		// scheduled far past the horizon): pinned beside StepSmallIdle,
+		// the delta is the fault engine's hot-path cost, which must stay
+		// ~zero — the engine only spends cycles when events fire.
+		{"StepSmallFaultsIdle", 0, stepBenchFaults(sim.Small, routing.Base, 0.01)},
 		// The PB/ECtN idle benchmarks track the event-driven algorithm
 		// layer; the RefScan variants pin the retained full-recompute
 		// reference (the original polled implementation) beside them.

@@ -37,6 +37,7 @@ func main() {
 		baseTh    = flag.Int("th", 0, "override the Base/ECtN contention threshold")
 		workers   = flag.Int("workers", 0, "shard workers per simulated network (0 = auto, 1 = sequential; results are identical at any count)")
 		congSpec  = flag.String("congestion", "off", "congestion management: off | on | on:key=val,... (keys: mark notify shed dec rec every hold min)")
+		faultSpec = flag.String("faults", "off", "fault plan: off | linkdown:R,P@C | linkup:R,P@C | routerdown:R@C | routerup:R@C | random:F%@C[,seed] | retry:N[,base]; compose with '+'")
 	)
 	flag.Parse()
 
@@ -61,6 +62,10 @@ func main() {
 	cong, err := cbar.ParseCongestion(*congSpec)
 	die(err)
 	cfg.Congestion = cong
+
+	faults, err := cbar.ParseFaults(*faultSpec)
+	die(err)
+	cfg.Faults = faults
 
 	traf, err := cbar.ParseTraffic(*trafName)
 	die(err)
@@ -103,6 +108,11 @@ func main() {
 		fmt.Printf("congestion_notified:  %d notifications\n", res.Notified)
 		fmt.Printf("congestion_throttled: %d injection attempts\n", res.Throttled)
 		fmt.Printf("congestion_shed:      %d packets\n", res.Shed)
+	}
+	if faults.Enabled() {
+		fmt.Printf("fault_dropped:        %d packets\n", res.Dropped)
+		fmt.Printf("fault_retried:        %d packets\n", res.Retried)
+		fmt.Printf("fault_unroutable:     %d packets\n", res.Unroutable)
 	}
 }
 

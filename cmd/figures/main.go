@@ -14,11 +14,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"cbar"
@@ -34,14 +38,23 @@ func main() {
 		ciRel     = flag.Float64("ci", 0, "adaptive: target relative 95% CI half-width (0 = 0.05)")
 		maxMeas   = flag.Int64("maxmeasure", 0, "adaptive: hard cap on measured cycles per seed (0 = 4x the scale's fixed window)")
 		congSpec  = flag.String("congestion", "off", "congestion management for every simulation of the experiment: off | on | on:key=val,... (keys: mark notify shed dec rec every hold min)")
+		faultSpec = flag.String("faults", "off", "fault plan for every simulation of the experiment: off | linkdown:R,P@C | linkup:R,P@C | routerdown:R@C | routerup:R@C | random:F%@C[,seed] | retry:N[,base]; compose with '+'")
 		outDir    = flag.String("out", "", "directory for CSV files (default: stdout)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel cooperatively: completed experiments' CSV
+	// files stay on disk and the process exits with status 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	scale, err := cbar.ParseScale(*scaleName)
 	die(err)
 
 	cong, err := cbar.ParseCongestion(*congSpec)
+	die(err)
+
+	faults, err := cbar.ParseFaults(*faultSpec)
 	die(err)
 
 	var ids []string
@@ -70,10 +83,10 @@ func main() {
 		opt := cbar.ExperimentOptions{
 			Seeds: *seeds, Workers: *workers,
 			Adaptive: *adaptive, CIRelWidth: *ciRel, MaxMeasure: *maxMeas,
-			Congestion: cong,
+			Congestion: cong, Faults: faults, Ctx: ctx,
 		}
 		if *outDir == "" {
-			die(cbar.RunExperimentOpts(id, scale, opt, os.Stdout))
+			dieOrInterrupt(cbar.RunExperimentOpts(id, scale, opt, os.Stdout))
 		} else {
 			die(os.MkdirAll(*outDir, 0o755))
 			path := filepath.Join(*outDir, fmt.Sprintf("%s_%s.csv", id, scale))
@@ -81,7 +94,7 @@ func main() {
 			die(err)
 			err = cbar.RunExperimentOpts(id, scale, opt, f)
 			cerr := f.Close()
-			die(err)
+			dieOrInterrupt(err)
 			die(cerr)
 			fmt.Fprintf(os.Stderr, "   wrote %s\n", path)
 		}
@@ -94,4 +107,14 @@ func die(err error) {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
+}
+
+// dieOrInterrupt is die with the conventional 130 exit for a run cut
+// short by SIGINT/SIGTERM; everything written so far stays flushed.
+func dieOrInterrupt(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "figures: interrupted, completed output flushed")
+		os.Exit(130)
+	}
+	die(err)
 }

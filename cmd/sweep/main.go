@@ -33,14 +33,30 @@
 //
 //	sweep -traffic hotspot:0.3,8 -routing base -congestion on
 //	sweep -congestion on:mark=80,shed=8,min=20
+//
+// -faults schedules a deterministic fault plan (link/router failures
+// and repairs, random link-failure expansion, optional source
+// retransmission) and appends dropped, retried, unroutable counter
+// columns; "off" (the default) keeps the engine out of the simulation
+// and the CSV byte-identical to previous releases:
+//
+//	sweep -traffic un -routing base,olm -faults random:5%@1000
+//	sweep -faults linkdown:3,7@500+linkup:3,7@2500+retry:3
+//
+// SIGINT/SIGTERM cancel the sweep cooperatively: completed rows are
+// flushed and the process exits with status 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"cbar"
 )
@@ -59,8 +75,12 @@ func main() {
 		ciRel     = flag.Float64("ci", 0, "adaptive: target relative 95% CI half-width on mean latency and throughput (0 = 0.05)")
 		maxMeas   = flag.Int64("maxmeasure", 0, "adaptive: hard cap on measured cycles per seed (0 = 4x the measurement window)")
 		congSpec  = flag.String("congestion", "off", "congestion management: off | on | on:key=val,... (keys: mark notify shed dec rec every hold min); adds marked,notified,throttled,shed columns when enabled")
+		faultSpec = flag.String("faults", "off", "fault plan: off | linkdown:R,P@C | linkup:R,P@C | routerdown:R@C | routerup:R@C | random:F%@C[,seed] | retry:N[,base]; compose with '+'; adds dropped,retried,unroutable columns when enabled")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	scale, err := cbar.ParseScale(*scaleName)
 	die(err)
@@ -82,6 +102,9 @@ func main() {
 	cong, err := cbar.ParseCongestion(*congSpec)
 	die(err)
 
+	faults, err := cbar.ParseFaults(*faultSpec)
+	die(err)
+
 	var loads []float64
 	for _, f := range strings.Split(*loadsCSV, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -100,16 +123,25 @@ func main() {
 	if cong.Enabled {
 		header += ",marked,notified,throttled,shed"
 	}
+	if faults.Enabled() {
+		header += ",dropped,retried,unroutable"
+	}
 	fmt.Println(header)
 	opt := cbar.SteadyOptions{
 		Warmup: *warmup, Measure: *measure, Seeds: *seeds,
 		Adaptive: *adaptive, CIRelWidth: *ciRel, MaxMeasure: *maxMeas,
+		Ctx: ctx,
 	}
 	for _, a := range algos {
 		cfg := cbar.NewConfig(scale, a)
 		cfg.Workers = *workers
 		cfg.Congestion = cong
+		cfg.Faults = faults
 		rs, err := cbar.Sweep(cfg, traf, loads, opt)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "sweep: interrupted, completed rows flushed")
+			os.Exit(130)
+		}
 		die(err)
 		for _, r := range rs {
 			row := fmt.Sprintf("%.3f,%s,%.2f,%d,%.4f,%.4f,%.4f",
@@ -121,6 +153,10 @@ func main() {
 			if cong.Enabled {
 				row += fmt.Sprintf(",%d,%d,%d,%d",
 					r.Marked, r.Notified, r.Throttled, r.Shed)
+			}
+			if faults.Enabled() {
+				row += fmt.Sprintf(",%d,%d,%d",
+					r.Dropped, r.Retried, r.Unroutable)
 			}
 			fmt.Println(row)
 		}

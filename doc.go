@@ -158,6 +158,45 @@
 // the cycle's sequential point in ascending source-node order (pinned
 // by TestParallelCongestionEquivalence).
 //
+// # Fault model
+//
+// Config.Faults (cmd/sweep, cmd/figures and cmd/dfsim -faults, specs
+// parsed by ParseFaults) schedules a deterministic plan of fabric
+// faults: explicit LinkDown/LinkUp and RouterDown/RouterUp events at
+// fixed cycles, plus a random clause failing a percentage of the global
+// cables at one cycle (expanded from its own seed at build time, so the
+// same triple always fails the same cables). Events apply at the
+// sequential point of Step — after the event barrier, before the
+// routing algorithm's BeginCycle — so fault state, and everything
+// downstream of it, is bit-identical at every worker count
+// (TestParallelFaultEquivalence pins traces, drop order and counters at
+// workers 1-4).
+//
+// A fault does three things. Liveness: the affected output ports on
+// both ends of each failed link go dead, and routing filters every
+// candidate set on one per-port flag — adaptive mechanisms treat a dead
+// link exactly like an unattractive one and misroute around it, PB
+// advertises a dead minimal channel as saturated, and a mechanism with
+// no live policy-compliant choice falls back to a router-level escape
+// that redirects through a random live transit port (a packet
+// exhausting its escape budget is dropped). Kills: packets already
+// committed to a failed link — staged, in the pipeline, serializing on
+// the wire, or queued on a dead router — are removed and counted in
+// SteadyResult.Dropped, with each kill reversing exactly the credit and
+// grant accounting its location held, so CheckInvariants stays clean
+// through any fault sequence. Reachability: a live-component map is
+// recomputed per event; packets to a partitioned destination are
+// counted Unroutable at injection (and in-flight ones at their next
+// routing decision) instead of wandering a fabric with no path.
+//
+// Faults.RetryLimit enables the optional source-side reaction:
+// dropped packets are re-offered by the NIC up to the limit with
+// exponential backoff (SteadyResult.Retried); the default mode is
+// drop-and-count. With no plan scheduled the layer is bit-inert — the
+// golden CSVs and TestFaultsOffIsInert pin that a zero Faults value,
+// and even an armed plan before its first event, simulate every cycle
+// bit-identically to a build without the layer.
+//
 // # Performance architecture
 //
 // The per-cycle cost of the simulator scales with traffic, not topology

@@ -1,0 +1,63 @@
+// Degraded fabric: fail 5% of the global cables mid-warmup and measure
+// what each routing mechanism still delivers under 30% uniform load.
+// The fault plan is deterministic — the same cables fail on every run
+// and at every worker count — so the comparison across mechanisms is
+// exact: every algorithm faces the same broken fabric.
+//
+// Minimal routing is hit hardest: a pair of groups whose only minimal
+// global link is down must fall back to the router-level escape path
+// (dead-port detours), which works but never load-balances. The
+// adaptive mechanisms (OLM, Base, ECtN) treat dead links as
+// non-candidates and misroute around the holes as part of their normal
+// nonminimal decision, so their misrouted fraction rises where MIN's
+// latency does.
+//
+// Run with:
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cbar"
+)
+
+func main() {
+	cfg := cbar.NewConfig(cbar.Tiny, cbar.MIN)
+	traf := cbar.Uniform()
+	load := 0.3
+	opt := cbar.SteadyOptions{Warmup: 1200, Measure: 1200, Seeds: 3}
+
+	faults, err := cbar.ParseFaults("random:5%@600")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("network: %d nodes; traffic %s at load %.2f; faults %s\n",
+		cfg.Nodes(), traf.Name(), load, faults)
+	fmt.Println("\nalgo    latency(cyc)  accepted  delivered%  misrouted%  dropped  unroutable")
+	for _, algo := range []cbar.Algorithm{cbar.MIN, cbar.VAL, cbar.PB, cbar.OLM, cbar.Base, cbar.Hybrid, cbar.ECtN} {
+		c := cfg
+		c.Algorithm = algo
+		c.Faults = faults
+		res, err := cbar.RunSteady(c, traf, load, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s  %12.1f    %.4f      %5.1f       %5.1f  %7d  %10d\n",
+			res.Algo, res.AvgLatency, res.Accepted, 100*res.Accepted/load,
+			100*res.MisroutedGlobal, res.Dropped, res.Unroutable)
+	}
+	fmt.Println("\nEvery adaptive mechanism (PB, OLM, Base, Hybrid, ECtN) still")
+	fmt.Println("delivers >=90% of the offered load: they route around the dead")
+	fmt.Println("links by misrouting (their misrouted% is the detour traffic),")
+	fmt.Println("where MIN leans on the router-level escape path and pays in both")
+	fmt.Println("latency and delivered throughput. VAL is the outlier for a")
+	fmt.Println("fault-unrelated reason: at this tiny scale 30% uniform load is")
+	fmt.Println("already past the Valiant saturation limit even on a pristine")
+	fmt.Println("fabric. Packets already on a failing link were dropped and")
+	fmt.Println("counted; none are unroutable because 5% of cables cannot")
+	fmt.Println("partition this topology.")
+}

@@ -1,0 +1,301 @@
+package cbar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cbar/internal/router"
+)
+
+// FaultKind enumerates the fault-plan event types.
+type FaultKind int
+
+// Fault event kinds.
+const (
+	// LinkDown fails one directed cable pair: the link behind output
+	// port Port of router Router and its reverse direction.
+	LinkDown FaultKind = iota
+	// LinkUp repairs a previously failed link.
+	LinkUp
+	// RouterDown fails a whole router: every attached link (including
+	// its NICs' injection/ejection channels) goes dead and its queued
+	// packets are killed.
+	RouterDown
+	// RouterUp repairs a previously failed router (links that were also
+	// failed individually stay down until their own LinkUp).
+	RouterUp
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case LinkDown:
+		return "linkdown"
+	case LinkUp:
+		return "linkup"
+	case RouterDown:
+		return "routerdown"
+	case RouterUp:
+		return "routerup"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultEvent is one scheduled fault: at cycle Cycle, the given kind is
+// applied to router Router (and, for link events, its output port
+// Port). Events are applied at the sequential point of the cycle, so
+// fault state — and every downstream effect — is bit-identical at every
+// worker count.
+type FaultEvent struct {
+	Kind   FaultKind
+	Router int
+	// Port is the router-side output port of a link event (ignored for
+	// router events). Ports order injection, then local, then global
+	// channels; only local/global ports can fail individually.
+	Port  int
+	Cycle int64
+}
+
+// Faults is a deterministic fault plan: scheduled link/router failures
+// and repairs, an optional random link-failure expansion, and the
+// source retransmission policy for killed packets. The zero value
+// schedules nothing and is bit-inert — the simulation is identical to a
+// build without the fault engine.
+type Faults struct {
+	// Events are explicitly scheduled faults, in any order (the engine
+	// sorts them by cycle).
+	Events []FaultEvent
+	// RandomPct, when positive, additionally fails that percentage of
+	// the topology's global cables (at least one) at cycle RandomAt,
+	// drawn from RandomSeed. The expansion is deterministic: same
+	// topology, same seed, same cables.
+	RandomPct  float64
+	RandomAt   int64
+	RandomSeed uint64
+	// RetryLimit, when positive, makes the traffic sources retransmit
+	// killed packets up to this many times with exponential backoff
+	// (RetryBase<<attempt cycles; RetryBase defaults to
+	// LatencyLocal+LatencyGlobal). 0 — the default — drops and counts.
+	RetryLimit int
+	RetryBase  int64
+}
+
+// Enabled reports whether the plan schedules any fault.
+func (f Faults) Enabled() bool { return len(f.Events) > 0 || f.RandomPct > 0 }
+
+func (f Faults) internal() router.FaultConfig {
+	fc := router.FaultConfig{
+		RandomPct:  f.RandomPct,
+		RandomAt:   f.RandomAt,
+		RandomSeed: f.RandomSeed,
+		RetryLimit: f.RetryLimit,
+		RetryBase:  f.RetryBase,
+	}
+	for _, e := range f.Events {
+		fc.Events = append(fc.Events, router.FaultEvent{
+			Kind:   router.FaultKind(e.Kind),
+			Router: int32(e.Router),
+			Port:   int16(e.Port),
+			Cycle:  e.Cycle,
+		})
+	}
+	return fc
+}
+
+// String renders the plan in the canonical ParseFaults syntax
+// ("off" for the zero value). ParseFaults(f.String()) reproduces f.
+func (f Faults) String() string {
+	var parts []string
+	for _, e := range f.Events {
+		switch e.Kind {
+		case LinkDown, LinkUp:
+			parts = append(parts, fmt.Sprintf("%s:%d,%d@%d", e.Kind, e.Router, e.Port, e.Cycle))
+		default:
+			parts = append(parts, fmt.Sprintf("%s:%d@%d", e.Kind, e.Router, e.Cycle))
+		}
+	}
+	if f.RandomPct > 0 {
+		p := fmt.Sprintf("random:%s%%@%d", strconv.FormatFloat(f.RandomPct, 'g', -1, 64), f.RandomAt)
+		if f.RandomSeed != 0 {
+			p += "," + strconv.FormatUint(f.RandomSeed, 10)
+		}
+		parts = append(parts, p)
+	}
+	if f.RetryLimit > 0 {
+		p := "retry:" + strconv.Itoa(f.RetryLimit)
+		if f.RetryBase != 0 {
+			p += "," + strconv.FormatInt(f.RetryBase, 10)
+		}
+		parts = append(parts, p)
+	}
+	if len(parts) == 0 {
+		return "off"
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseFaults resolves a fault-plan specification string:
+//
+//	"off"                      no faults (the default)
+//	"linkdown:12,5@1000"       fail router 12's output port 5 at cycle 1000
+//	"linkup:12,5@3000"         repair it at cycle 3000
+//	"routerdown:7@500"         fail router 7 (all its links) at cycle 500
+//	"routerup:7@2500"          repair router 7 at cycle 2500
+//	"random:5%@1000"           fail 5% of the global cables at cycle 1000
+//	"random:5%@1000,42"        same, drawn from seed 42
+//	"retry:3"                  sources retransmit killed packets up to 3
+//	                           times with exponential backoff
+//	"retry:3,200"              same, with a 200-cycle backoff base
+//
+// Specs compose with '+': "random:5%@1000+retry:3". Router/port bounds
+// are validated against the simulated topology when the network is
+// built.
+func ParseFaults(s string) (Faults, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	if ls == "" || ls == "off" {
+		return Faults{}, nil
+	}
+	var f Faults
+	for _, part := range strings.Split(ls, "+") {
+		part = strings.TrimSpace(part)
+		name, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return Faults{}, fmt.Errorf("cbar: fault spec %q in %q is not kind:args (linkdown linkup routerdown routerup random retry)", part, s)
+		}
+		switch name {
+		case "linkdown", "linkup", "routerdown", "routerup":
+			e, err := parseFaultEvent(name, rest)
+			if err != nil {
+				return Faults{}, fmt.Errorf("cbar: bad fault spec %q in %q: %v", part, s, err)
+			}
+			f.Events = append(f.Events, e)
+		case "random":
+			if f.RandomPct > 0 {
+				return Faults{}, fmt.Errorf("cbar: duplicate random spec in %q", s)
+			}
+			pct, at, seed, err := parseRandomFaults(rest)
+			if err != nil {
+				return Faults{}, fmt.Errorf("cbar: bad random fault spec %q in %q: %v", part, s, err)
+			}
+			f.RandomPct, f.RandomAt, f.RandomSeed = pct, at, seed
+		case "retry":
+			if f.RetryLimit > 0 {
+				return Faults{}, fmt.Errorf("cbar: duplicate retry spec in %q", s)
+			}
+			limit, base, err := parseRetry(rest)
+			if err != nil {
+				return Faults{}, fmt.Errorf("cbar: bad retry spec %q in %q: %v", part, s, err)
+			}
+			f.RetryLimit, f.RetryBase = limit, base
+		default:
+			return Faults{}, fmt.Errorf("cbar: unknown fault kind %q in %q (linkdown linkup routerdown routerup random retry)", name, s)
+		}
+	}
+	return f, nil
+}
+
+// parseFaultEvent parses "R,P@C" (link kinds) or "R@C" (router kinds).
+func parseFaultEvent(name, rest string) (FaultEvent, error) {
+	target, cycStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return FaultEvent{}, fmt.Errorf("missing @CYCLE")
+	}
+	cyc, err := strconv.ParseInt(strings.TrimSpace(cycStr), 10, 64)
+	if err != nil {
+		return FaultEvent{}, fmt.Errorf("bad cycle: %v", err)
+	}
+	e := FaultEvent{Cycle: cyc}
+	switch name {
+	case "linkdown":
+		e.Kind = LinkDown
+	case "linkup":
+		e.Kind = LinkUp
+	case "routerdown":
+		e.Kind = RouterDown
+	case "routerup":
+		e.Kind = RouterUp
+	}
+	if e.Kind == LinkDown || e.Kind == LinkUp {
+		r, p, err := parseIntPair(target)
+		if err != nil {
+			return FaultEvent{}, fmt.Errorf("want ROUTER,PORT@CYCLE: %v", err)
+		}
+		e.Router, e.Port = r, p
+	} else {
+		r, err := strconv.Atoi(strings.TrimSpace(target))
+		if err != nil {
+			return FaultEvent{}, fmt.Errorf("want ROUTER@CYCLE: %v", err)
+		}
+		e.Router = r
+	}
+	return e, nil
+}
+
+// parseRandomFaults parses "F%@C[,SEED]".
+func parseRandomFaults(rest string) (pct float64, at int64, seed uint64, err error) {
+	pctStr, tail, ok := strings.Cut(rest, "@")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("missing @CYCLE")
+	}
+	pctStr = strings.TrimSuffix(strings.TrimSpace(pctStr), "%")
+	pct, err = strconv.ParseFloat(pctStr, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad percentage: %v", err)
+	}
+	// Negated comparison so NaN (which fails both directed checks) is
+	// rejected too.
+	if !(pct > 0 && pct <= 100) {
+		return 0, 0, 0, fmt.Errorf("percentage %v outside (0,100]", pct)
+	}
+	atStr, seedStr, hasSeed := strings.Cut(tail, ",")
+	at, err = strconv.ParseInt(strings.TrimSpace(atStr), 10, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad cycle: %v", err)
+	}
+	if hasSeed {
+		seed, err = strconv.ParseUint(strings.TrimSpace(seedStr), 10, 64)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("bad seed: %v", err)
+		}
+	}
+	return pct, at, seed, nil
+}
+
+// parseRetry parses "N[,BASE]".
+func parseRetry(rest string) (limit int, base int64, err error) {
+	nStr, baseStr, hasBase := strings.Cut(rest, ",")
+	limit, err = strconv.Atoi(strings.TrimSpace(nStr))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad limit: %v", err)
+	}
+	if limit < 1 {
+		return 0, 0, fmt.Errorf("limit %d must be >= 1", limit)
+	}
+	if hasBase {
+		base, err = strconv.ParseInt(strings.TrimSpace(baseStr), 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad backoff base: %v", err)
+		}
+		if base < 1 {
+			return 0, 0, fmt.Errorf("backoff base %d must be >= 1", base)
+		}
+	}
+	return limit, base, nil
+}
+
+// parseIntPair parses "INT,INT".
+func parseIntPair(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("want two comma-separated values")
+	}
+	x, err := strconv.Atoi(strings.TrimSpace(a))
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := strconv.Atoi(strings.TrimSpace(b))
+	if err != nil {
+		return 0, 0, err
+	}
+	return x, y, nil
+}

@@ -90,6 +90,12 @@ func (r *Router) grant(port, vc, out int) {
 		p.ECNMarks++
 	}
 	p.Granted = true
+	if p.reqEscape {
+		// The grant went through the fault escape path: spend one unit
+		// of the packet's detour budget (see faults.go).
+		p.FaultDetours++
+		p.reqEscape = false
+	}
 	r.in[port].unrouted--
 	r.unrouted--
 

@@ -82,6 +82,11 @@ type Config struct {
 	// (see congestion.go). The zero value disables it, leaving results
 	// bit-identical to a configuration without the subsystem.
 	Congestion CongestionConfig
+
+	// Faults is the fault-injection plan (see faults.go). The zero
+	// value schedules nothing, leaving results bit-identical to a
+	// configuration without the subsystem.
+	Faults FaultConfig
 }
 
 // DefaultConfig returns the Table I configuration for the given topology
@@ -164,6 +169,11 @@ func (c Config) Validate() error {
 	}
 	if c.Congestion.Enabled {
 		if err := c.Congestion.Resolved(c).validate(c); err != nil {
+			return err
+		}
+	}
+	if c.Faults.Enabled() || c.Faults.RetryLimit > 0 {
+		if err := c.Faults.Resolved(c).validate(c); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,928 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"cbar/internal/rng"
+	"cbar/internal/topology"
+)
+
+// Fault injection: a deterministic schedule of link and router failures
+// (and repairs) applied to a running fabric.
+//
+// The plan is a list of FaultEvents sorted by cycle. Due events are
+// applied at the sequential point of Step — after the handle barrier,
+// before Alg.BeginCycle — so fault state is bit-identical at every
+// worker count. Applying a down event does three things:
+//
+//   - Liveness flags. A failed link marks the outPort on *both* ends
+//     dead (links are full duplex); a down router marks every one of its
+//     non-injection ports and the matching peer ports dead. Routing
+//     reads one bool per candidate (PortAlive), so the hot path pays a
+//     single flag check.
+//   - Kills. Every packet committed to a dead direction is removed and
+//     counted in NumDropped: staged output entries, pipeline
+//     completions in flight, packets serializing on the wire, and (for
+//     a down router) NIC backlogs, input queues and ejecting packets.
+//     Each kill reverses exactly the accounting its location still
+//     holds — grant reservations for staged/pipelined packets, the
+//     downstream credit for wire packets, the upstream credit for
+//     queued packets — so CheckInvariants stays clean through any
+//     fault sequence.
+//   - Reachability. A router-granularity component map is recomputed
+//     (BFS over live links). Inject refuses sources on dead routers and
+//     counts packets to unreachable destinations as NumUnroutable;
+//     in-flight packets whose destination becomes unreachable are
+//     detected at their next routing decision and killed at the next
+//     sequential point, also counted NumUnroutable.
+//
+// Routing interacts with faults in two layers. The routing algorithms
+// filter candidate ports on liveness themselves (package routing), so a
+// healthy candidate set never changes — with no faults scheduled the RNG
+// draw sequence, and therefore the whole simulation, is bit-identical to
+// a build without this file. When an algorithm still requests a dead
+// port (its minimal path died and the policy has no alternative), the
+// router-side escape in faultAdjust redirects the packet through a
+// random live transit port, counting a FaultDetour; a packet that
+// accumulates maxFaultDetours of them is dropped as hopelessly wandering.
+// Escapes can violate the ascending-VC deadlock discipline, so forward
+// progress under faults is guaranteed by the detour cap (and optional
+// retransmission), not by the VC ladder.
+//
+// Retransmission is the optional source-side reaction: with
+// RetryLimit > 0 the traffic injector re-offers dropped packets with
+// exponential backoff (package traffic consumes the OnDrop callback).
+// The base mode is drop-and-count.
+
+// FaultKind discriminates fault events.
+type FaultKind uint8
+
+const (
+	// LinkDown fails the bidirectional link attached to (Router, Port).
+	LinkDown FaultKind = iota
+	// LinkUp repairs a previously failed link.
+	LinkUp
+	// RouterDown fails a whole router: all its links, queues and NICs.
+	RouterDown
+	// RouterUp repairs a previously failed router.
+	RouterUp
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case LinkDown:
+		return "linkdown"
+	case LinkUp:
+		return "linkup"
+	case RouterDown:
+		return "routerdown"
+	case RouterUp:
+		return "routerup"
+	}
+	return "invalid"
+}
+
+// FaultEvent is one scheduled fault: Kind applied to Router (and, for
+// link events, the link on output Port) at the start of Cycle.
+type FaultEvent struct {
+	Kind   FaultKind
+	Router int32
+	Port   int16 // link events only; ignored for router events
+	Cycle  int64
+}
+
+// FaultConfig is the fault-injection plan. The zero value schedules
+// nothing and is bit-inert: no state is allocated, no hot-path branch is
+// taken beyond one nil check per cycle.
+type FaultConfig struct {
+	// Events is the explicit fault schedule. Events are applied in
+	// ascending cycle order (stable for equal cycles: listed order).
+	Events []FaultEvent
+
+	// RandomPct, when positive, additionally fails that percentage of
+	// the topology's physical global cables (at least one) at cycle
+	// RandomAt, sampled without replacement from the deterministic
+	// stream seeded by RandomSeed. The expansion happens at Build, so
+	// the same (topology, pct, seed) triple always fails the same
+	// cables.
+	RandomPct  float64
+	RandomAt   int64
+	RandomSeed uint64
+
+	// RetryLimit, when positive, makes the traffic injector re-offer a
+	// dropped packet up to this many times, with exponential backoff
+	// RetryBase<<attempt cycles after the drop. Zero (the default)
+	// means drop-and-count.
+	RetryLimit int
+
+	// RetryBase is the backoff unit in cycles (default
+	// LatencyLocal+LatencyGlobal, a worst-case one-way path).
+	RetryBase int64
+}
+
+// Enabled reports whether the plan schedules any fault.
+func (fc FaultConfig) Enabled() bool {
+	return len(fc.Events) > 0 || fc.RandomPct > 0
+}
+
+// Resolved returns the configuration with zero-valued knobs replaced by
+// their defaults.
+func (fc FaultConfig) Resolved(c Config) FaultConfig {
+	if fc.RetryLimit > 0 && fc.RetryBase == 0 {
+		fc.RetryBase = int64(c.LatencyLocal + c.LatencyGlobal)
+	}
+	return fc
+}
+
+// maxRetryLimit bounds the retransmission count so the exponential
+// backoff shift cannot overflow.
+const maxRetryLimit = 16
+
+// validate checks a resolved configuration against the fabric it will
+// run in.
+func (fc FaultConfig) validate(c Config) error {
+	t, err := topology.New(c.Topo)
+	if err != nil {
+		return err
+	}
+	for i, ev := range fc.Events {
+		if ev.Kind > RouterUp {
+			return fmt.Errorf("router: fault event %d has invalid kind %d", i, ev.Kind)
+		}
+		if ev.Router < 0 || int(ev.Router) >= t.Routers {
+			return fmt.Errorf("router: fault event %d router %d outside [0,%d)", i, ev.Router, t.Routers)
+		}
+		if ev.Kind == LinkDown || ev.Kind == LinkUp {
+			if int(ev.Port) < t.FirstLocalPort() || int(ev.Port) >= t.Radix() {
+				return fmt.Errorf("router: fault event %d port %d is not a link port (want [%d,%d))",
+					i, ev.Port, t.FirstLocalPort(), t.Radix())
+			}
+		}
+		if ev.Cycle < 0 {
+			return fmt.Errorf("router: fault event %d cycle %d < 0", i, ev.Cycle)
+		}
+	}
+	if fc.RandomPct < 0 || fc.RandomPct > 100 {
+		return fmt.Errorf("router: random fault fraction %g%% outside [0,100]", fc.RandomPct)
+	}
+	if fc.RandomPct > 0 && fc.RandomAt < 0 {
+		return fmt.Errorf("router: random fault cycle %d < 0", fc.RandomAt)
+	}
+	if fc.RetryLimit < 0 || fc.RetryLimit > maxRetryLimit {
+		return fmt.Errorf("router: retry limit %d outside [0,%d]", fc.RetryLimit, maxRetryLimit)
+	}
+	if fc.RetryLimit > 0 && fc.RetryBase < 1 {
+		return fmt.Errorf("router: retry backoff base %d < 1", fc.RetryBase)
+	}
+	return nil
+}
+
+// plan expands the random-cable clause into explicit LinkDown events and
+// returns the full schedule in ascending cycle order (stable, so
+// same-cycle events keep their listed order, random failures last).
+func (fc FaultConfig) plan(t *topology.Dragonfly) []FaultEvent {
+	events := append([]FaultEvent(nil), fc.Events...)
+	if fc.RandomPct > 0 {
+		// Enumerate each physical cable once by its canonical endpoint
+		// (the lower-numbered group), then partial-Fisher-Yates k of
+		// them from the seeded stream.
+		type endpoint struct {
+			router int32
+			port   int16
+		}
+		var cables []endpoint
+		for g := 0; g < t.Groups; g++ {
+			for l := 0; l < t.GlobalLinks; l++ {
+				if !t.CanonicalGlobalLink(g, l) {
+					continue
+				}
+				pos, k := t.GlobalLinkOwner(l)
+				cables = append(cables, endpoint{
+					router: int32(t.RouterID(g, pos)),
+					port:   int16(t.GlobalPort(k)),
+				})
+			}
+		}
+		k := int(fc.RandomPct*float64(len(cables))/100 + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > len(cables) {
+			k = len(cables)
+		}
+		r := rng.New(fc.RandomSeed, 0)
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(len(cables)-i)
+			cables[i], cables[j] = cables[j], cables[i]
+			events = append(events, FaultEvent{
+				Kind: LinkDown, Router: cables[i].router, Port: cables[i].port, Cycle: fc.RandomAt,
+			})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Cycle < events[j].Cycle })
+	return events
+}
+
+// maxFaultDetours caps the escape redirections a single packet may
+// accumulate before it is dropped as unable to make progress around the
+// fault pattern.
+const maxFaultDetours = 16
+
+// pendingKill reasons.
+const (
+	killUnreachable uint8 = iota // destination partitioned: NumUnroutable
+	killDetourCap                // detour cap exhausted: NumDropped
+)
+
+// pendingKill is a head packet flagged for removal by a routing decision
+// (unreachable destination or exhausted detour budget). The flag is
+// raised during the shard-parallel route phase and resolved at the next
+// sequential point, after re-verifying that the packet is still the
+// ungranted head (and, for unreachable kills, that no repair restored
+// the path in between).
+type pendingKill struct {
+	router int32
+	port   int16
+	vc     int8
+	reason uint8
+	pkt    *Packet
+}
+
+// deferredCredit is an upstream credit return owed by a kill, scheduled
+// after the calendar sweep (the sweep must not mutate ring buckets while
+// iterating them).
+type deferredCredit struct {
+	router int32
+	port   int16
+	vc     int8
+	size   int32
+}
+
+// faultState is the network's fault-injection engine; nil when the plan
+// is empty.
+type faultState struct {
+	cfg    FaultConfig
+	events []FaultEvent // full expanded plan, ascending cycle
+	next   int          // cursor: events[:next] have been applied
+
+	// comp labels each live router's connected component over live
+	// links; -1 for down routers. Labels are assigned in ascending
+	// first-router order, so equal fault state yields equal labels at
+	// any worker count.
+	comp []int32
+
+	// Kill machinery scratch, reused across applications.
+	victims  map[*Packet]struct{}
+	killed   []*Packet
+	defCred  []deferredCredit
+	bfsQueue []int32
+}
+
+func newFaultState(fc FaultConfig, t *topology.Dragonfly) *faultState {
+	return &faultState{
+		cfg:     fc,
+		events:  fc.plan(t),
+		comp:    make([]int32, t.Routers),
+		victims: make(map[*Packet]struct{}),
+	}
+}
+
+// PortAlive reports whether output `port` leads over a live link to a
+// live router. Ejection channels are always alive (a router's own nodes
+// die with the router, which Inject handles). Routing algorithms filter
+// their candidate sets with this.
+func (r *Router) PortAlive(port int) bool { return !r.out[port].dead }
+
+// Alive reports whether the router itself is up.
+func (r *Router) Alive() bool { return !r.down }
+
+// FaultsActive reports whether a fault plan is scheduled on this
+// network. Routing algorithms use it to gate their (slightly more
+// expensive) fault-aware candidate checks.
+func (n *Network) FaultsActive() bool { return n.faults != nil }
+
+// Reachable reports whether routers a and b are connected through live
+// links and routers. Always true without a fault plan.
+func (n *Network) Reachable(a, b int) bool { return n.reachableRouters(int32(a), int32(b)) }
+
+// GlobalLinkAlive reports whether global link l of group g is up at its
+// local endpoint: the owning router is alive and its global port is not
+// dead. Always true without a fault plan. Source-routed mechanisms (PB)
+// consult this the way their saturation flags model the piggybacked
+// link-state broadcast: a dead channel is advertised group-wide exactly
+// as a saturated one is.
+func (n *Network) GlobalLinkAlive(g, l int) bool {
+	if n.faults == nil {
+		return true
+	}
+	t := n.Topo
+	r := n.groups[g][l/t.H]
+	return !r.down && !r.out[t.GlobalPort(l%t.H)].dead
+}
+
+// reachableRouters reports whether routers a and b are in the same live
+// component. Always true without a fault plan.
+func (n *Network) reachableRouters(a, b int32) bool {
+	f := n.faults
+	if f == nil {
+		return true
+	}
+	ca := f.comp[a]
+	return ca >= 0 && ca == f.comp[b]
+}
+
+// faultsPending reports whether the next sequential point has fault work
+// to do: a due plan event or a pending routing-flagged kill. The
+// parallel stepper's quiet path must not skip such a cycle.
+func (n *Network) faultsPending() bool {
+	f := n.faults
+	if f == nil {
+		return false
+	}
+	if f.next < len(f.events) && f.events[f.next].Cycle <= n.now {
+		return true
+	}
+	for s := range n.shards {
+		if len(n.shards[s].pendingKills) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// applyFaults runs at the sequential point of Step (before BeginCycle):
+// due plan events are applied in order, the component map refreshed, and
+// the kills flagged by the previous cycle's routing decisions resolved.
+// Shards are visited in ascending order, which is ascending router
+// order — the order a sequential route scan flagged them in.
+func (n *Network) applyFaults() {
+	f := n.faults
+	changed := false
+	for f.next < len(f.events) && f.events[f.next].Cycle <= n.now {
+		n.applyFaultEvent(f.events[f.next])
+		f.next++
+		changed = true
+	}
+	if changed {
+		n.computeComponentsInto(f.comp)
+	}
+	for s := range n.shards {
+		sh := &n.shards[s]
+		if len(sh.pendingKills) == 0 {
+			continue
+		}
+		for i := range sh.pendingKills {
+			n.resolvePendingKill(&sh.pendingKills[i])
+			sh.pendingKills[i].pkt = nil
+		}
+		sh.pendingKills = sh.pendingKills[:0]
+	}
+}
+
+// applyFaultEvent applies one plan event: flip liveness flags, kill every
+// packet committed to a now-dead direction, reconcile the accounting,
+// and count the victims.
+func (n *Network) applyFaultEvent(ev FaultEvent) {
+	kills := false
+	switch ev.Kind {
+	case LinkDown, LinkUp:
+		failed := ev.Kind == LinkDown
+		r := n.Routers[ev.Router]
+		peer, peerPort := n.Topo.Neighbor(int(ev.Router), int(ev.Port))
+		r.out[ev.Port].linkFailed = failed
+		n.Routers[peer].out[peerPort].linkFailed = failed
+		n.refreshPortDead(r, int(ev.Port))
+		n.refreshPortDead(n.Routers[peer], peerPort)
+		kills = failed
+
+	case RouterDown:
+		rt := n.Routers[ev.Router]
+		if rt.down {
+			return
+		}
+		rt.down = true
+		n.killRouterContents(rt)
+		n.refreshRouterLinks(rt)
+		kills = true
+
+	case RouterUp:
+		rt := n.Routers[ev.Router]
+		if !rt.down {
+			return
+		}
+		rt.down = false
+		n.refreshRouterLinks(rt)
+	}
+	if kills {
+		n.sweepFaultVictims()
+	}
+	n.flushDeferredCredits()
+	n.finalizeFaultVictims()
+}
+
+// refreshPortDead recomputes the effective liveness of one non-injection
+// output port from its link flag and both endpoint routers, draining the
+// port's staged output queue when it just died (the entries' grants are
+// reversed; the packets join the victim set for the calendar sweep).
+func (n *Network) refreshPortDead(r *Router, port int) {
+	o := &r.out[port]
+	if o.kind == Injection {
+		return
+	}
+	dead := o.linkFailed || r.down || n.Routers[o.peerRouter].down
+	if dead == o.dead {
+		return
+	}
+	o.dead = dead
+	if dead {
+		n.killStagedQueue(r, port)
+	}
+}
+
+// refreshRouterLinks refreshes the liveness of every link touching rt,
+// on both ends.
+func (n *Network) refreshRouterLinks(rt *Router) {
+	for port := n.Topo.FirstLocalPort(); port < len(rt.out); port++ {
+		n.refreshPortDead(rt, port)
+		o := &rt.out[port]
+		n.refreshPortDead(n.Routers[o.peerRouter], int(o.peerPort))
+	}
+}
+
+// killRouterContents removes every packet resident in a freshly down
+// router: NIC backlogs of its attached nodes, all input queues (with the
+// upstream credits each queued packet still holds returned to the
+// sender), and the staged ejection queues. Transit output queues are
+// drained by refreshRouterLinks/refreshPortDead; pipeline and wire
+// packets by the calendar sweep.
+func (n *Network) killRouterContents(rt *Router) {
+	f := n.faults
+	t := n.Topo
+	for c := 0; c < t.P; c++ {
+		q := &n.nics[t.NodeID(rt.ID, c)]
+		for q.len() > 0 {
+			f.noteVictim(q.pop())
+		}
+	}
+	for port := range rt.in {
+		ip := &rt.in[port]
+		for vc := range ip.vcs {
+			vq := &ip.vcs[vc]
+			if h := vq.headPkt(); h != nil && !h.Granted {
+				ip.unrouted--
+				rt.unrouted--
+			}
+			for !vq.empty() {
+				p := vq.pop()
+				ip.queued--
+				rt.queued--
+				f.noteVictim(p)
+				n.Alg.OnDequeue(rt, p, port, vc)
+				if ip.upRouter >= 0 {
+					f.defCred = append(f.defCred, deferredCredit{
+						router: ip.upRouter, port: ip.upPort, vc: int8(vc), size: p.Size,
+					})
+				}
+			}
+		}
+	}
+	for port := 0; port < t.P; port++ {
+		n.killStagedQueue(rt, port)
+	}
+}
+
+// killStagedQueue drains the staged output queue of (r, port), reversing
+// each entry's grant reservation (the credits and output space it holds)
+// and removing any tail residue still in an input queue. A granted
+// packet occupies exactly one of: the pipeline (evPipeDone pending), the
+// staged queue, or the wire — so this reversal happens at most once per
+// packet.
+func (n *Network) killStagedQueue(r *Router, port int) {
+	o := &r.out[port]
+	for o.qLen() > 0 {
+		e := o.qPop()
+		r.staged--
+		o.credits[e.vc] += e.pkt.Size
+		o.outFree += e.pkt.Size
+		r.occDelta(port, -2*e.pkt.Size)
+		n.faults.noteVictim(e.pkt)
+		n.killGrantedResidue(r, e.pkt)
+	}
+}
+
+// killGrantedResidue removes a killed granted packet's tail from r's
+// input queues, if it is still streaming out there (with Speedup 1 the
+// serialization outlives the pipeline, so a packet can be staged — or
+// even on the wire — while its tail still occupies the input buffer).
+// The pop mirrors the evTailLeave handler: expose the next head, fire
+// OnDequeue, and return the upstream credit the packet held.
+func (n *Network) killGrantedResidue(r *Router, p *Packet) {
+	for port := range r.in {
+		ip := &r.in[port]
+		for vc := range ip.vcs {
+			if ip.vcs[vc].headPkt() != p {
+				continue
+			}
+			ip.vcs[vc].pop()
+			ip.queued--
+			r.queued--
+			if ip.vcs[vc].headPkt() != nil {
+				ip.unrouted++
+				r.unrouted++
+				r.shard.routeActive.add(int32(r.ID))
+			}
+			n.Alg.OnDequeue(r, p, port, vc)
+			if ip.upRouter >= 0 {
+				n.faults.defCred = append(n.faults.defCred, deferredCredit{
+					router: ip.upRouter, port: ip.upPort, vc: int8(vc), size: p.Size,
+				})
+			}
+			return
+		}
+	}
+}
+
+// sweepFaultVictims scans every pending calendar event for packets
+// committed to a dead direction, then removes every event referencing a
+// victim. Phase A (scan) does the location-specific accounting: a
+// pipeline completion toward a dead port reverses its grant like a
+// staged entry; a head arrival over a dead link returns the downstream
+// credit the wire packet holds (its output space comes back through the
+// still-pending size-only evOutFree); an ejecting packet of a down
+// router needs no reversal (delivery would not have returned ejection
+// credits either). Phase B (filter) then drops every event carrying a
+// victim pointer — including the tail-leave events whose queue pops
+// killGrantedResidue already performed — while size-only events
+// (credits, output frees, notifications) always survive: their
+// accounting must complete even across a dead link, which is exactly
+// how credits owed across it are reconciled.
+func (n *Network) sweepFaultVictims() {
+	f := n.faults
+	for s := range n.shards {
+		sh := &n.shards[s]
+		for b := range sh.ring {
+			for i := range sh.ring[b] {
+				n.faultScanEvent(&sh.ring[b][i])
+			}
+		}
+		for t := range sh.outbox {
+			for i := range sh.outbox[t] {
+				n.faultScanEvent(&sh.outbox[t][i].ev)
+			}
+		}
+	}
+	if len(f.killed) == 0 {
+		return
+	}
+	for s := range n.shards {
+		sh := &n.shards[s]
+		for b := range sh.ring {
+			bucket := sh.ring[b]
+			w := 0
+			for i := range bucket {
+				if bucket[i].pkt != nil {
+					if _, dead := f.victims[bucket[i].pkt]; dead {
+						continue
+					}
+				}
+				bucket[w] = bucket[i]
+				w++
+			}
+			for i := w; i < len(bucket); i++ {
+				bucket[i] = event{}
+			}
+			sh.ring[b] = bucket[:w]
+		}
+		for t := range sh.outbox {
+			mb := sh.outbox[t]
+			w := 0
+			for i := range mb {
+				if mb[i].ev.pkt != nil {
+					if _, dead := f.victims[mb[i].ev.pkt]; dead {
+						continue
+					}
+				}
+				mb[w] = mb[i]
+				w++
+			}
+			for i := w; i < len(mb); i++ {
+				mb[i] = timedEvent{}
+			}
+			sh.outbox[t] = mb[:w]
+		}
+	}
+}
+
+// faultScanEvent is sweepFaultVictims' phase A on one event.
+func (n *Network) faultScanEvent(ev *event) {
+	switch ev.kind {
+	case evPipeDone:
+		u := n.Routers[ev.router]
+		if u.down || u.out[ev.port].dead {
+			o := &u.out[ev.port]
+			o.credits[ev.vc] += ev.pkt.Size
+			o.outFree += ev.pkt.Size
+			u.occDelta(int(ev.port), -2*ev.pkt.Size)
+			n.faults.noteVictim(ev.pkt)
+			n.killGrantedResidue(u, ev.pkt)
+		}
+	case evHeadArrive:
+		d := n.Routers[ev.router]
+		ip := &d.in[ev.port]
+		u := n.Routers[ip.upRouter]
+		if u.out[ip.upPort].dead {
+			u.out[ip.upPort].credits[ev.vc] += ev.pkt.Size
+			u.occDelta(int(ip.upPort), -ev.pkt.Size)
+			n.faults.noteVictim(ev.pkt)
+			n.killGrantedResidue(u, ev.pkt)
+		}
+	case evDeliver:
+		u := n.Routers[ev.router]
+		if u.down {
+			n.faults.noteVictim(ev.pkt)
+			n.killGrantedResidue(u, ev.pkt)
+		}
+	}
+}
+
+// noteVictim adds p to the victim set, once.
+func (f *faultState) noteVictim(p *Packet) {
+	if _, ok := f.victims[p]; ok {
+		return
+	}
+	f.victims[p] = struct{}{}
+	f.killed = append(f.killed, p)
+}
+
+// flushDeferredCredits schedules the upstream credit returns collected
+// by the kills. This runs at a sequential point, so appending straight
+// onto the target router's ring is safe at any worker count (the same
+// contract Inject relies on). Same-port credits commute, so bucket
+// insertion order does not affect the simulation.
+func (n *Network) flushDeferredCredits() {
+	f := n.faults
+	for _, dc := range f.defCred {
+		up := n.Routers[dc.router]
+		n.scheduleFrom(up.shard, n.now+up.out[dc.port].latency,
+			event{kind: evCredit, router: dc.router, port: dc.port, vc: dc.vc, size: dc.size})
+	}
+	f.defCred = f.defCred[:0]
+}
+
+// finalizeFaultVictims counts and recycles the victims of one fault
+// application, in ascending packet-ID order — discovery order differs
+// across worker counts (ring contents are sharded), the ID order does
+// not, so the OnDrop callback sequence is bit-identical everywhere.
+func (n *Network) finalizeFaultVictims() {
+	f := n.faults
+	if len(f.killed) == 0 {
+		return
+	}
+	sort.Slice(f.killed, func(i, j int) bool { return f.killed[i].ID < f.killed[j].ID })
+	for _, p := range f.killed {
+		n.InFlight--
+		n.NumDropped++
+		if n.OnDrop != nil {
+			n.OnDrop(p, n.now)
+		}
+		delete(f.victims, p)
+		if len(n.freePkts) < maxFreePackets {
+			n.freePkts = append(n.freePkts, p)
+		}
+	}
+	f.killed = f.killed[:0]
+}
+
+// resolvePendingKill resolves one routing-flagged kill at the sequential
+// point: the packet must still be the ungranted head it was flagged as
+// (a same-batch router death may already have drained it), and an
+// unreachable-destination kill is skipped if a repair restored the path.
+func (n *Network) resolvePendingKill(pk *pendingKill) {
+	r := n.Routers[pk.router]
+	ip := &r.in[pk.port]
+	vq := &ip.vcs[pk.vc]
+	p := vq.headPkt()
+	if p != pk.pkt || p.Granted {
+		return
+	}
+	if pk.reason == killUnreachable && n.reachableRouters(pk.router, p.DstRouter) {
+		return
+	}
+	vq.pop()
+	ip.queued--
+	r.queued--
+	ip.unrouted--
+	r.unrouted--
+	if vq.headPkt() != nil {
+		ip.unrouted++
+		r.unrouted++
+		r.shard.routeActive.add(pk.router)
+	}
+	n.Alg.OnDequeue(r, p, int(pk.port), int(pk.vc))
+	if ip.upRouter >= 0 {
+		up := n.Routers[ip.upRouter]
+		n.scheduleFrom(up.shard, n.now+up.out[ip.upPort].latency,
+			event{kind: evCredit, router: ip.upRouter, port: ip.upPort, vc: pk.vc, size: p.Size})
+	}
+	n.InFlight--
+	if pk.reason == killUnreachable {
+		n.NumUnroutable++
+	} else {
+		n.NumDropped++
+		if n.OnDrop != nil {
+			n.OnDrop(p, n.now)
+		}
+	}
+	if len(n.freePkts) < maxFreePackets {
+		n.freePkts = append(n.freePkts, p)
+	}
+}
+
+// faultAdjust post-processes a routing decision when a fault plan is
+// active. It runs inside the shard-parallel route phase but touches only
+// the deciding router's state (its RNG, its shard's pendingKills list),
+// preserving the parallel determinism contract. Three outcomes:
+//
+//   - The destination is unreachable: flag the head for an Unroutable
+//     kill at the next sequential point and request nothing.
+//   - The requested port is dead but the destination reachable: redirect
+//     through a uniformly random live transit port (every live port
+//     leads into this router's own component, so any of them can make
+//     progress), on the VC the ascending discipline assigns that hop.
+//     The grant will count a FaultDetour; past maxFaultDetours the
+//     packet is flagged for a Dropped kill instead.
+//   - The requested port is alive: the decision passes through
+//     untouched, and — because the RNG is only consumed on the dead-port
+//     path — the router's random stream stays identical to a fault-free
+//     run until a fault actually bites.
+func (r *Router) faultAdjust(p *Packet, port, vc int, req Request) Request {
+	n := r.net
+	if !n.reachableRouters(int32(r.ID), p.DstRouter) {
+		r.shard.pendingKills = append(r.shard.pendingKills, pendingKill{
+			router: int32(r.ID), port: int16(port), vc: int8(vc), reason: killUnreachable, pkt: p,
+		})
+		return Request{}
+	}
+	if !req.OK || !r.out[req.Out].dead {
+		return req
+	}
+	if p.FaultDetours >= maxFaultDetours {
+		r.shard.pendingKills = append(r.shard.pendingKills, pendingKill{
+			router: int32(r.ID), port: int16(port), vc: int8(vc), reason: killDetourCap, pkt: p,
+		})
+		return Request{}
+	}
+	pick, count := -1, 0
+	for out := n.Topo.FirstLocalPort(); out < len(r.out); out++ {
+		if r.out[out].dead {
+			continue
+		}
+		count++
+		if r.RNG.Intn(count) == 0 {
+			pick = out
+		}
+	}
+	if pick < 0 {
+		// No live link at all, yet the destination looked reachable:
+		// only possible when the destination is this router itself —
+		// but then the minimal request is the (never dead) ejection
+		// channel and we would not be here. Treat as partitioned.
+		r.shard.pendingKills = append(r.shard.pendingKills, pendingKill{
+			router: int32(r.ID), port: int16(port), vc: int8(vc), reason: killUnreachable, pkt: p,
+		})
+		return Request{}
+	}
+	p.reqEscape = true
+	return Request{Out: pick, VC: r.escapeVC(p, pick), OK: true}
+}
+
+// escapeVC mirrors package routing's ascending-VC assignment (nextVC in
+// routing/helpers.go) for router-side escapes: local hops ride
+// base(GlobalHops)+LocalHopsGroup, global hops ride GlobalHops, capped
+// at the port's top VC. Escape paths are longer than the ladder was
+// sized for, so the cap is routinely reached — under faults, forward
+// progress comes from the detour budget, not the ladder.
+func (r *Router) escapeVC(p *Packet, out int) int {
+	var vc int
+	switch r.out[out].kind {
+	case Local:
+		switch p.GlobalHops {
+		case 0:
+		case 1:
+			vc = 1
+		default:
+			vc = 3
+		}
+		vc += int(p.LocalHopsGroup)
+	case Global:
+		vc = int(p.GlobalHops)
+	default:
+		return 0
+	}
+	if maxVC := len(r.out[out].credits) - 1; vc > maxVC {
+		vc = maxVC
+	}
+	return vc
+}
+
+// computeComponentsInto labels the live routers' connected components
+// over live links into dst (-1 for down routers), assigning labels in
+// ascending first-router order.
+func (n *Network) computeComponentsInto(dst []int32) {
+	f := n.faults
+	for i := range dst {
+		dst[i] = -1
+	}
+	queue := f.bfsQueue[:0]
+	label := int32(0)
+	firstLink := n.Topo.FirstLocalPort()
+	for start := range n.Routers {
+		if dst[start] >= 0 || n.Routers[start].down {
+			continue
+		}
+		dst[start] = label
+		queue = append(queue, int32(start))
+		for len(queue) > 0 {
+			rid := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			r := n.Routers[rid]
+			for port := firstLink; port < len(r.out); port++ {
+				o := &r.out[port]
+				if o.dead {
+					continue
+				}
+				if pr := o.peerRouter; dst[pr] < 0 && !n.Routers[pr].down {
+					dst[pr] = label
+					queue = append(queue, pr)
+				}
+			}
+		}
+		label++
+	}
+	f.bfsQueue = queue[:0]
+}
+
+// checkFaultState audits the engine's incremental liveness state against
+// a from-scratch replay of the applied plan prefix: per-port link flags,
+// effective deadness, per-router down flags, and the component map.
+// CheckInvariants calls it whenever a plan is active.
+func (n *Network) checkFaultState() error {
+	f := n.faults
+	down := make([]bool, len(n.Routers))
+	type linkKey struct {
+		router int32
+		port   int16
+	}
+	failed := make(map[linkKey]bool)
+	for _, ev := range f.events[:f.next] {
+		switch ev.Kind {
+		case LinkDown, LinkUp:
+			peer, peerPort := n.Topo.Neighbor(int(ev.Router), int(ev.Port))
+			v := ev.Kind == LinkDown
+			failed[linkKey{ev.Router, ev.Port}] = v
+			failed[linkKey{int32(peer), int16(peerPort)}] = v
+		case RouterDown:
+			down[ev.Router] = true
+		case RouterUp:
+			down[ev.Router] = false
+		}
+	}
+	firstLink := n.Topo.FirstLocalPort()
+	for _, r := range n.Routers {
+		if r.down != down[r.ID] {
+			return fmt.Errorf("router %d: down flag %v but plan prefix says %v", r.ID, r.down, down[r.ID])
+		}
+		for port := range r.out {
+			o := &r.out[port]
+			if port < firstLink {
+				if o.linkFailed || o.dead {
+					return fmt.Errorf("router %d ejection %d: marked failed/dead", r.ID, port)
+				}
+				continue
+			}
+			wantFailed := failed[linkKey{int32(r.ID), int16(port)}]
+			if o.linkFailed != wantFailed {
+				return fmt.Errorf("router %d port %d: link-failed flag %v but plan prefix says %v",
+					r.ID, port, o.linkFailed, wantFailed)
+			}
+			wantDead := wantFailed || down[r.ID] || down[o.peerRouter]
+			if o.dead != wantDead {
+				return fmt.Errorf("router %d port %d: dead flag %v but liveness recompute says %v",
+					r.ID, port, o.dead, wantDead)
+			}
+		}
+	}
+	fresh := make([]int32, len(n.Routers))
+	n.computeComponentsInto(fresh)
+	for i := range fresh {
+		if fresh[i] != f.comp[i] {
+			return fmt.Errorf("router %d: component label %d but recompute says %d", i, f.comp[i], fresh[i])
+		}
+	}
+	if len(f.victims) != 0 || len(f.killed) != 0 || len(f.defCred) != 0 {
+		return fmt.Errorf("router: fault engine holds %d victims / %d killed / %d deferred credits between cycles",
+			len(f.victims), len(f.killed), len(f.defCred))
+	}
+	return nil
+}

@@ -113,6 +113,15 @@ type Network struct {
 	NumNotified uint64 // congestion notifications delivered to sources
 	NumShed     uint64 // injection attempts shed at the NIC shed cap
 
+	// Fault-injection counters; all stay zero unless a fault plan is
+	// scheduled (see faults.go).
+	NumDropped    uint64 // packets killed by faults (links, routers, detour cap)
+	NumUnroutable uint64 // packets to destinations partitioned away from their source
+
+	// faults is the fault-injection engine; nil unless Cfg.Faults
+	// schedules something (see faults.go).
+	faults *faultState
+
 	// notifyScratch is replayNotifications' reusable gather buffer.
 	notifyScratch []notifyRec
 
@@ -137,6 +146,17 @@ type Network struct {
 	// network as read-only. The traffic package's AIMD throttle is the
 	// intended consumer.
 	OnNotify func(node, sev int, now int64)
+
+	// OnDrop, when non-nil, observes every packet killed by a fault at
+	// the cycle it is removed (see faults.go). It runs at a sequential
+	// point, in ascending packet-ID order within one fault application —
+	// bit-identical at every worker count. The packet's fields are
+	// stable only for the duration of the call (the struct is recycled);
+	// consumers must copy what they keep. The traffic package's
+	// retransmit source is the intended consumer. Packets counted
+	// NumUnroutable for a partitioned destination are not reported:
+	// retrying them is futile by construction.
+	OnDrop func(p *Packet, now int64)
 }
 
 // Build constructs a network for cfg with the given routing algorithm and
@@ -152,9 +172,11 @@ func Build(cfg Config, alg Algorithm, seed uint64) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Store the congestion configuration resolved, so everything
-	// downstream (the traffic throttle included) reads concrete values.
+	// Store the congestion and fault configurations resolved, so
+	// everything downstream (the traffic throttle and retransmit source
+	// included) reads concrete values.
 	cfg.Congestion = cfg.Congestion.Resolved(cfg)
+	cfg.Faults = cfg.Faults.Resolved(cfg)
 	n := &Network{Cfg: cfg, Topo: topo, Alg: alg, seed: seed}
 
 	workers := cfg.Workers
@@ -256,6 +278,10 @@ func Build(cfg Config, alg Algorithm, seed uint64) (*Network, error) {
 			}
 		}
 	}
+	if cfg.Faults.Enabled() {
+		n.faults = newFaultState(cfg.Faults, topo)
+		n.computeComponentsInto(n.faults.comp)
+	}
 	alg.Attach(n)
 	return n, nil
 }
@@ -309,8 +335,34 @@ func portKind(t *topology.Dragonfly, port int) PortKind {
 // the traffic process — is expected to stall, modeling source throttling
 // past saturation). Inject is a sequential entry point: it must not be
 // called while a Step is in progress.
-func (n *Network) Inject(src, dst int) bool {
+func (n *Network) Inject(src, dst int) bool { return n.inject(src, dst, 0) }
+
+// InjectRetry is Inject for a retransmission: the packet carries the
+// given attempt number (see the RetryLimit fault mode in faults.go).
+func (n *Network) InjectRetry(src, dst int, attempt int8) bool {
+	return n.inject(src, dst, attempt)
+}
+
+func (n *Network) inject(src, dst int, attempt int8) bool {
 	q := &n.nics[src]
+	if n.faults != nil {
+		srcR := int32(n.Topo.RouterOfNode(src))
+		if n.Routers[srcR].down {
+			// A dead router's NICs accept nothing.
+			n.NumBlocked++
+			return false
+		}
+		dstR := int32(n.Topo.RouterOfNode(dst))
+		if !n.reachableRouters(srcR, dstR) {
+			// The destination is partitioned away (or its router is
+			// down): the packet is accepted by the NIC and immediately
+			// discarded as unroutable — counted, never spun through the
+			// fabric looking for a path that cannot exist.
+			n.NumGenerated++
+			n.NumUnroutable++
+			return true
+		}
+	}
 	if n.Cfg.Congestion.Enabled && q.len() >= n.Cfg.Congestion.ShedCap {
 		// Graceful degradation: past the shed cap the NIC drops new
 		// packets explicitly (counted, never silent) instead of growing
@@ -342,6 +394,7 @@ func (n *Network) Inject(src, dst int) bool {
 		LastGroup:   -1,
 		CountedPort: -1,
 		CountedLink: -1,
+		Attempt:     attempt,
 	}
 	n.pktID++
 	q.push(p)
@@ -401,6 +454,9 @@ func (n *Network) Step() {
 	sh.ring[idx] = bucket[:0]
 	n.replayDeliveries()
 	n.replayNotifications()
+	if n.faults != nil {
+		n.applyFaults()
+	}
 
 	n.Alg.BeginCycle(n)
 
@@ -789,9 +845,18 @@ func (n *Network) CheckInvariants() error {
 			}
 		}
 	}
-	if n.NumGenerated-n.NumDelivered != uint64(n.InFlight) {
-		return fmt.Errorf("router: conservation violated: generated %d - delivered %d != in-flight %d",
-			n.NumGenerated, n.NumDelivered, n.InFlight)
+	// Conservation: every generated packet is delivered, killed by a
+	// fault, discarded as unroutable, or still in flight. The fault
+	// counters are identically zero without a plan, reducing this to the
+	// original generated = delivered + in-flight.
+	if n.NumGenerated-n.NumDelivered-n.NumDropped-n.NumUnroutable != uint64(n.InFlight) {
+		return fmt.Errorf("router: conservation violated: generated %d - delivered %d - dropped %d - unroutable %d != in-flight %d",
+			n.NumGenerated, n.NumDelivered, n.NumDropped, n.NumUnroutable, n.InFlight)
+	}
+	if n.faults != nil {
+		if err := n.checkFaultState(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -72,6 +72,16 @@ type Packet struct {
 	// notification echoed to the source (see congestion.go).
 	ECNMarks int8
 
+	// FaultDetours counts the grants this packet won through the fault
+	// escape path (its requested port was dead and faultAdjust redirected
+	// it); at maxFaultDetours the packet is dropped (see faults.go).
+	FaultDetours int8
+
+	// Attempt is the retransmission attempt number: 0 for an original
+	// injection, k for the k-th retry of a dropped packet (see the
+	// RetryLimit fault mode).
+	Attempt int8
+
 	// --- per-queue transient state (reset on every enqueue) ---
 
 	// TailArrive is the cycle the packet's tail finishes arriving into
@@ -85,10 +95,12 @@ type Packet struct {
 	// leaves, but must not re-arbitrate.
 	Granted bool
 
-	// reqOut/reqVC/reqValid hold the current allocation request.
-	reqOut   int16
-	reqVC    int8
-	reqValid bool
+	// reqOut/reqVC/reqValid hold the current allocation request;
+	// reqEscape marks it as a fault-escape redirect (see faults.go).
+	reqOut    int16
+	reqVC     int8
+	reqValid  bool
+	reqEscape bool
 }
 
 // resetQueueState prepares per-queue transient state on enqueue.
@@ -97,6 +109,7 @@ func (p *Packet) resetQueueState(tailArrive int64) {
 	p.HeadSeen = false
 	p.Granted = false
 	p.reqValid = false
+	p.reqEscape = false
 	p.CountedPort = -1
 	p.CountedLink = -1
 }

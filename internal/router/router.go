@@ -70,6 +70,13 @@ type outPort struct {
 	ecnHot bool
 	markTh int32
 
+	// Fault liveness (faults.go): linkFailed records an explicit link
+	// fault on this direction's cable; dead is the effective flag the
+	// routing hot path reads — linkFailed, or either endpoint router
+	// down. Both always false without a fault plan.
+	linkFailed bool
+	dead       bool
+
 	q          fifo[outEntry] // output buffer FIFO
 	linkFreeAt int64
 
@@ -115,6 +122,10 @@ type Router struct {
 	// RNG is this router's private random stream (nonminimal port
 	// selection).
 	RNG *rng.PCG
+
+	// down marks a failed router (faults.go): its ports are dead, its
+	// queues were drained, Inject refuses its nodes.
+	down bool
 
 	queued int // packets currently in input queues
 	staged int // packets currently in output buffers or being serialized
@@ -320,6 +331,7 @@ func (r *Router) routePhase() {
 		return
 	}
 	alg := r.net.Alg
+	faults := r.net.faults != nil
 	for port := range r.in {
 		ip := &r.in[port]
 		if ip.unrouted == 0 {
@@ -336,6 +348,10 @@ func (r *Router) routePhase() {
 				alg.OnHead(r, p, port, vc)
 			}
 			req := alg.Route(r, p, port, vc)
+			if faults {
+				p.reqEscape = false
+				req = r.faultAdjust(p, port, vc, req)
+			}
 			p.reqValid = req.OK
 			if req.OK {
 				p.reqOut = int16(req.Out)

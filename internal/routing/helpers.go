@@ -107,7 +107,9 @@ func canLocalMisroute(r *router.Router, p *router.Packet, minOut int) bool {
 }
 
 // pickGlobal reservoir-samples one global port of r, excluding `exclude`
-// (pass -1 to exclude none), among those satisfying eligible. It returns
+// (pass -1 to exclude none), among those satisfying eligible. Dead ports
+// (failed links or routers, see router/faults.go) are never candidates:
+// the adaptive algorithms misroute around faults for free. It returns
 // ok=false when no candidate qualifies.
 func pickGlobal(r *router.Router, exclude int, eligible func(port int) bool) (int, bool) {
 	t := r.Net().Topo
@@ -115,7 +117,7 @@ func pickGlobal(r *router.Router, exclude int, eligible func(port int) bool) (in
 	pick, count := -1, 0
 	for k := 0; k < t.H; k++ {
 		port := first + k
-		if port == exclude || !eligible(port) {
+		if port == exclude || !r.PortAlive(port) || !eligible(port) {
 			continue
 		}
 		count++
@@ -134,7 +136,7 @@ func pickLocal(r *router.Router, exclude int, eligible func(port int) bool) (int
 	pick, count := -1, 0
 	for j := 0; j < t.A-1; j++ {
 		port := first + j
-		if port == exclude || !eligible(port) {
+		if port == exclude || !r.PortAlive(port) || !eligible(port) {
 			continue
 		}
 		count++

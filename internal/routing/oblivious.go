@@ -30,24 +30,41 @@ func (*valiantAlg) Route(r *router.Router, p *router.Packet, port, vc int) route
 	if p.Inter < 0 && !p.Decided && t.IsInjectionPort(port) {
 		p.Decided = true
 		if t.GroupOfNode(int(p.Src)) != t.GroupOfNode(int(p.Dst)) {
-			p.Inter = int32(randomInterNode(r, p))
-			p.ToInter = true
-			p.GlobalMisroute = true
+			if inter := randomInterNode(r, p); inter >= 0 {
+				p.Inter = int32(inter)
+				p.ToInter = true
+				p.GlobalMisroute = true
+			}
 		}
 	}
 	return request(r, p, t.MinimalNextPort(r.ID, phaseDest(r, p)))
 }
 
 // randomInterNode picks a uniform intermediate node on a router other
-// than the source and destination routers.
+// than the source and destination routers. Under an active fault plan
+// the intermediate must additionally be reachable from the deciding
+// router (a packet steered toward a partitioned intermediate would only
+// wander until the detour cap kills it); when the bounded rejection
+// sampling finds no such router, -1 is returned and the caller falls
+// back to the minimal path.
 func randomInterNode(r *router.Router, p *router.Packet) int {
 	t := r.Net().Topo
 	srcR := t.RouterOfNode(int(p.Src))
 	dstR := int(p.DstRouter)
-	for {
+	n := r.Net()
+	if !n.FaultsActive() {
+		for {
+			ir := r.RNG.Intn(t.Routers)
+			if ir != srcR && ir != dstR {
+				return t.NodeID(ir, 0)
+			}
+		}
+	}
+	for tries := 0; tries < 4*t.Routers; tries++ {
 		ir := r.RNG.Intn(t.Routers)
-		if ir != srcR && ir != dstR {
+		if ir != srcR && ir != dstR && n.Reachable(r.ID, ir) {
 			return t.NodeID(ir, 0)
 		}
 	}
+	return -1
 }

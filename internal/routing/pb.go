@@ -153,10 +153,17 @@ func (a *pbAlg) decide(r *router.Router, p *router.Packet) {
 		return // intra-group traffic is always minimal
 	}
 	inter := randomInterNode(r, p)
+	if inter < 0 {
+		return // no live intermediate reachable: stay minimal
+	}
 	interR := t.RouterOfNode(inter)
 
 	minLink := t.GlobalLinkToGroup(g, dg)
-	saturated := a.sat[g][minLink]
+	// A dead minimal channel reads as saturated: the piggybacked
+	// broadcast carries liveness exactly as it carries the credit flag,
+	// so the source diverts those flows onto Valiant paths instead of
+	// shoveling them at the router-level escape detour.
+	saturated := a.sat[g][minLink] || !r.Net().GlobalLinkAlive(g, minLink)
 
 	minFirst := t.MinimalNextPort(r.ID, int(p.Dst))
 	valFirst := t.MinimalNextPort(r.ID, inter)

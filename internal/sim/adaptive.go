@@ -78,7 +78,7 @@ func measureSeed(c Config, w Workload, load float64, b Budget, seed uint64) (Ste
 	if b.Adaptive {
 		return adaptiveSeed(c, w, load, b, seed)
 	}
-	return steadySeed(c, w, load, b.Warmup, b.Measure, seed)
+	return steadySeed(b.Ctx, c, w, load, b.Warmup, b.Measure, seed)
 }
 
 // satDetector watches for the two signatures of an offered load past the
@@ -224,6 +224,9 @@ func adaptiveSeed(c Config, w Workload, load float64, b Budget, seed uint64) (St
 	lastMean := 0.0
 	warmupDone := false
 	for !warmupDone && !saturated {
+		if err := ctxErr(b.Ctx); err != nil {
+			return SteadyResult{}, nil, err
+		}
 		runBucket()
 		sat.sample(net)
 		if bCnt > 0 {
@@ -250,6 +253,7 @@ func adaptiveSeed(c Config, w Workload, load float64, b Budget, seed uint64) (St
 	truncWarm := cyc
 	var busyLocal0, busyGlobal0 int64
 	var marked0, notified0, shed0, throttled0 uint64
+	var dropped0, retried0, unroutable0 uint64
 	var ciLat, ciAcc float64
 	converged := false
 	measStart := cyc
@@ -260,11 +264,15 @@ func adaptiveSeed(c Config, w Workload, load float64, b Budget, seed uint64) (St
 		_, busyLocal0, busyGlobal0 = net.LinkBusy()
 		marked0, notified0, shed0 = net.NumMarked, net.NumNotified, net.NumShed
 		throttled0 = inj.Throttled()
+		dropped0, retried0, unroutable0 = net.NumDropped, inj.Retried(), net.NumUnroutable
 
 		// Phase 2: CI-driven measurement.
 		var latB, thrB []float64
 		buckets := 0
 		for {
+			if err := ctxErr(b.Ctx); err != nil {
+				return SteadyResult{}, nil, err
+			}
 			runBucket()
 			sat.sample(net)
 			buckets++
@@ -331,6 +339,9 @@ func adaptiveSeed(c Config, w Workload, load float64, b Budget, seed uint64) (St
 		Notified:       net.NumNotified - notified0,
 		Throttled:      inj.Throttled() - throttled0,
 		Shed:           net.NumShed - shed0,
+		Dropped:        net.NumDropped - dropped0,
+		Retried:        inj.Retried() - retried0,
+		Unroutable:     net.NumUnroutable - unroutable0,
 	}
 	if counted > 0 {
 		res.MisroutedGlobal = float64(misG) / float64(counted)

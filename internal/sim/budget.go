@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"cbar/internal/router"
@@ -40,6 +41,15 @@ type Budget struct {
 	// (router.Config.Congestion). The zero value leaves congestion
 	// management off, reproducing pre-congestion results bit-identically.
 	Congestion router.CongestionConfig
+	// Faults is threaded into every simulation of the experiment
+	// (router.Config.Faults). The zero value leaves fault injection off,
+	// reproducing pre-fault results bit-identically.
+	Faults router.FaultConfig
+	// Ctx, when non-nil, cancels a running experiment cooperatively: the
+	// cycle loops check it every measurement bucket and the task pools
+	// between tasks, so a cancelled sweep stops mid-run instead of
+	// finishing its current point. Nil means never cancelled.
+	Ctx context.Context
 
 	// Adaptive switches steady-state measurement from the fixed
 	// Warmup+Measure windows to the adaptive engine (MSER warmup

@@ -124,6 +124,7 @@ func sweepSteady(s Scale, algos []routing.Algo, w Workload, loads []float64, b B
 		cfg := NewConfig(s.Params(), jobs[i].key.algo)
 		cfg.Router.Workers = perRun
 		cfg.Router.Congestion = b.Congestion
+		cfg.Router.Faults = b.Faults
 		if mutate != nil {
 			mutate(&cfg)
 		}
@@ -199,6 +200,7 @@ func runFig6(s Scale, b Budget, w io.Writer) error {
 		for _, a := range adaptiveAlgos {
 			cfg := NewConfig(s.Params(), a)
 			cfg.Router.Congestion = b.Congestion
+			cfg.Router.Faults = b.Faults
 			r, err := RunSteadyBudget(cfg, MixUN(frac, 1), load, b)
 			if err != nil {
 				return err
@@ -236,10 +238,11 @@ func runTransientFigure(s Scale, b Budget, w io.Writer, algos []routing.Algo, po
 		cfg := NewConfig(s.Params(), a)
 		cfg.Router.Workers = b.Workers
 		cfg.Router.Congestion = b.Congestion
+		cfg.Router.Faults = b.Faults
 		if mutate != nil {
 			mutate(&cfg)
 		}
-		r, err := RunTransient(cfg, UN(), ADV(1), load, b.TransientWarmup, b.Pre, post, b.Bucket, b.Seeds)
+		r, err := RunTransientCtx(b.Ctx, cfg, UN(), ADV(1), load, b.TransientWarmup, b.Pre, post, b.Bucket, b.Seeds)
 		if err != nil {
 			return err
 		}
@@ -295,6 +298,7 @@ func runFig10(s Scale, b Budget, w io.Writer, workload Workload, ths []int32, re
 			cfg := NewConfig(s.Params(), routing.Base)
 			cfg.Router.Workers = b.Workers
 			cfg.Router.Congestion = b.Congestion
+			cfg.Router.Faults = b.Faults
 			cfg.Opts.BaseTh = th
 			r, err := RunSteadyBudget(cfg, workload, l, b)
 			if err != nil {
@@ -306,6 +310,7 @@ func runFig10(s Scale, b Budget, w io.Writer, workload Workload, ths []int32, re
 		refCfg := NewConfig(s.Params(), ref)
 		refCfg.Router.Workers = b.Workers
 		refCfg.Router.Congestion = b.Congestion
+		refCfg.Router.Faults = b.Faults
 		r, err := RunSteadyBudget(refCfg, workload, l, b)
 		if err != nil {
 			return err
@@ -331,6 +336,7 @@ func runVIA(s Scale, b Budget, w io.Writer) error {
 	cfg := NewConfig(s.Params(), routing.Base)
 	cfg.Router.Workers = b.Workers
 	cfg.Router.Congestion = b.Congestion
+	cfg.Router.Faults = b.Faults
 	got, err := MeanSaturatedContention(cfg, 0.95, b.Warmup, b.Measure/4, 1)
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -338,6 +339,12 @@ type SteadyResult struct {
 	Notified  uint64 // notifications delivered back to sources
 	Throttled uint64 // injection attempts deferred/suppressed by AIMD
 	Shed      uint64 // injection attempts shed at the NIC shed cap
+	// Fault-injection activity over the measurement windows, summed
+	// across seeds; all zero unless the run's router config schedules
+	// faults (router.FaultConfig).
+	Dropped    uint64 // packets killed on failing links/routers
+	Retried    uint64 // dropped packets successfully re-injected
+	Unroutable uint64 // packets aimed at (or caught in) a partition
 }
 
 // latencyHistCap bounds the latency histogram; latencies beyond it still
@@ -349,7 +356,7 @@ const latencyHistCap = 1 << 15
 // computed by reduceSteady from the returned histogram, so multi-seed
 // reductions can merge histograms and take exact cross-seed percentiles
 // instead of averaging per-seed ones.
-func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed uint64) (SteadyResult, *stats.Histogram, error) {
+func steadySeed(ctx context.Context, c Config, w Workload, load float64, warmup, measure int64, seed uint64) (SteadyResult, *stats.Histogram, error) {
 	net, err := BuildNetwork(c, seed)
 	if err != nil {
 		return SteadyResult{}, nil, err
@@ -388,11 +395,18 @@ func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed 
 	}
 	var busyLocal0, busyGlobal0 int64
 	var marked0, notified0, shed0, throttled0 uint64
+	var dropped0, retried0, unroutable0 uint64
 	for cyc := int64(0); cyc < warmup+measure; cyc++ {
 		if cyc == warmup {
 			_, busyLocal0, busyGlobal0 = net.LinkBusy()
 			marked0, notified0, shed0 = net.NumMarked, net.NumNotified, net.NumShed
 			throttled0 = inj.Throttled()
+			dropped0, retried0, unroutable0 = net.NumDropped, inj.Retried(), net.NumUnroutable
+		}
+		if cyc%adaptiveBucket == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return SteadyResult{}, nil, err
+			}
 		}
 		inj.Cycle()
 		net.Step()
@@ -415,12 +429,30 @@ func steadySeed(c Config, w Workload, load float64, warmup, measure int64, seed 
 		Notified:       net.NumNotified - notified0,
 		Throttled:      inj.Throttled() - throttled0,
 		Shed:           net.NumShed - shed0,
+		Dropped:        net.NumDropped - dropped0,
+		Retried:        inj.Retried() - retried0,
+		Unroutable:     net.NumUnroutable - unroutable0,
 	}
 	if counted > 0 {
 		res.MisroutedGlobal = float64(misG) / float64(counted)
 		res.MisroutedLocal = float64(misL) / float64(counted)
 	}
 	return res, hist, nil
+}
+
+// ctxErr reports a cancelled context (nil contexts never cancel); the
+// cycle loops poll it once per measurement bucket so a cancelled sweep
+// stops mid-run at bucket granularity.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // seedFor returns the run seed of repeat i, shared by every steady
@@ -492,6 +524,9 @@ func SweepSteadyBudget(c Config, w Workload, loads []float64, b Budget) ([]Stead
 	results := make([]SteadyResult, tasks)
 	hists := make([]*stats.Histogram, tasks)
 	err := forEachTaskN(tasks, taskWorkers, func(k int) error {
+		if err := ctxErr(b.Ctx); err != nil {
+			return err
+		}
 		r, h, err := measureSeed(c, w, loads[k/b.Seeds], b, seedFor(k%b.Seeds))
 		results[k], hists[k] = r, h
 		return err
@@ -550,6 +585,7 @@ func reduceSteady(rs []SteadyResult, hists []*stats.Histogram) SteadyResult {
 	var ciLat2, ciAcc2 float64
 	var warm int64
 	out.Marked, out.Notified, out.Throttled, out.Shed = 0, 0, 0, 0
+	out.Dropped, out.Retried, out.Unroutable = 0, 0, 0
 	for _, r := range rs {
 		out.MeasuredCycles += r.MeasuredCycles
 		warm += r.WarmupCycles
@@ -561,6 +597,9 @@ func reduceSteady(rs []SteadyResult, hists []*stats.Histogram) SteadyResult {
 		out.Notified += r.Notified
 		out.Throttled += r.Throttled
 		out.Shed += r.Shed
+		out.Dropped += r.Dropped
+		out.Retried += r.Retried
+		out.Unroutable += r.Unroutable
 	}
 	out.WarmupCycles = warm / int64(len(rs))
 	out.CIHalfLatency = math.Sqrt(ciLat2) / n
@@ -599,6 +638,13 @@ type TransientResult struct {
 // scenario of Figure 7 ("the traffic changed exactly when the partial
 // counters were being distributed").
 func RunTransient(c Config, before, after Workload, load float64, warmup, pre, post, bucket int64, seeds int) (TransientResult, error) {
+	return RunTransientCtx(nil, c, before, after, load, warmup, pre, post, bucket, seeds)
+}
+
+// RunTransientCtx is RunTransient with cooperative cancellation: the
+// per-seed cycle loops poll ctx once per measurement bucket and the
+// seed pool between tasks. A nil ctx never cancels.
+func RunTransientCtx(ctx context.Context, c Config, before, after Workload, load float64, warmup, pre, post, bucket int64, seeds int) (TransientResult, error) {
 	tb := Budget{TransientWarmup: warmup, Pre: pre, Post: post, Bucket: bucket, Seeds: seeds}
 	if err := tb.validateTransient(); err != nil {
 		return TransientResult{}, err
@@ -622,6 +668,9 @@ func RunTransient(c Config, before, after Workload, load float64, warmup, pre, p
 	perRun, taskWorkers := planWorkers(requested, seeds)
 	c.Router.Workers = perRun
 	err := forEachTaskN(seeds, taskWorkers, func(i int) error {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		seed := uint64(i)*0x2000003 + 17
 		net, err := BuildNetwork(c, seed)
 		if err != nil {
@@ -660,6 +709,11 @@ func RunTransient(c Config, before, after Workload, load float64, warmup, pre, p
 			mis.Add(rel, v)
 		}
 		for cyc := int64(0); cyc < warmup+post; cyc++ {
+			if cyc%adaptiveBucket == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
+			}
 			inj.Cycle()
 			net.Step()
 		}

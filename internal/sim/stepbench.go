@@ -64,6 +64,35 @@ func NewStepBenchWorkers(s Scale, algo routing.Algo, w Workload, load float64, f
 	return net, inj, nil
 }
 
+// NewStepBenchFaults builds a step benchmark with a quiescent fault
+// plan: one LinkDown scheduled far past any benchmark horizon, so the
+// fault engine is allocated and its per-cycle pending check runs, but
+// no event ever fires. Pinned beside the plain idle entry, the delta is
+// the fault layer's hot-path overhead — which must stay ~zero.
+func NewStepBenchFaults(s Scale, algo routing.Algo, load float64) (*router.Network, *traffic.Injector, error) {
+	c := NewConfig(s.Params(), algo)
+	c.Router.Faults = router.FaultConfig{Events: []router.FaultEvent{
+		{Kind: router.LinkDown, Router: 0, Port: int16(s.Params().P), Cycle: 1 << 40},
+	}}
+	net, err := BuildNetwork(c, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	pat, err := UN().Pattern(net.Topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	inj, err := traffic.NewInjector(net, traffic.Constant(pat), load, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < StepBenchWarmup; i++ {
+		inj.Cycle()
+		net.Step()
+	}
+	return net, inj, nil
+}
+
 // BurstDrainStep runs one episode of the burst-then-drain benchmark: a
 // 256-packet random burst into the NIC queues, then stepping until the
 // network fully drains.

@@ -180,6 +180,21 @@ func (d *Dragonfly) GlobalLinkToGroup(g, dg int) int {
 	return off - 1 // off in [1, A*H]
 }
 
+// CanonicalGlobalLink reports whether group-wide link l of group g is the
+// canonical endpoint of its physical cable: the endpoint in the
+// lower-numbered group. Every inter-group cable has exactly one canonical
+// endpoint, so iterating (g, l) pairs filtered by this predicate
+// enumerates each physical cable exactly once — the enumeration fault
+// injection samples from.
+func (d *Dragonfly) CanonicalGlobalLink(g, l int) bool {
+	return g < d.GlobalLinkTarget(g, l)
+}
+
+// GlobalCableCount returns the number of physical inter-group cables:
+// each of the Groups*GlobalLinks directed link endpoints pairs with
+// exactly one other, giving half that many cables.
+func (d *Dragonfly) GlobalCableCount() int { return d.Groups * d.GlobalLinks / 2 }
+
 // GlobalNeighbor returns the router and port on the far side of global
 // port ordinal k of router r. The palmtree arrangement pairs link l of
 // group g with link A*H-1-l of group (g+l+1) mod Groups, which makes the

@@ -185,6 +185,9 @@ type Injector struct {
 	// th is the AIMD congestion throttle (nil unless the network's
 	// congestion management is enabled — see throttle.go).
 	th *throttle
+	// rtx re-offers fault-dropped packets (nil unless the network's
+	// fault plan enables retransmission — see retransmit.go).
+	rtx *retransmitter
 }
 
 // NewInjector builds a homogeneous Bernoulli injector at the given
@@ -209,6 +212,12 @@ func NewInjector(net *router.Network, sched *Schedule, load float64, seed uint64
 		// resolved by Build) drive this injector's per-node AIMD rates.
 		in.th = newThrottle(net.Topo.Nodes, net.Cfg.PacketSize, cc)
 		net.OnNotify = in.th.onNotify
+	}
+	if fc := net.Cfg.Faults; fc.RetryLimit > 0 {
+		// Close the fault-recovery loop: drop reports (fired at the fault
+		// barrier) feed this injector's retransmit calendar.
+		in.rtx = newRetransmitter(net, fc.RetryLimit, fc.RetryBase)
+		net.OnDrop = in.rtx.onDrop
 	}
 	return in, nil
 }
@@ -255,6 +264,24 @@ func (in *Injector) Throttled() uint64 {
 	return in.th.throttled
 }
 
+// Retried returns the number of fault-dropped packets successfully
+// re-injected so far (zero unless the fault plan enables retries).
+func (in *Injector) Retried() uint64 {
+	if in.rtx == nil {
+		return 0
+	}
+	return in.rtx.retried
+}
+
+// PendingRetries returns the number of retries still waiting on the
+// calendar; drain loops include it in their emptiness condition.
+func (in *Injector) PendingRetries() int {
+	if in.rtx == nil {
+		return 0
+	}
+	return in.rtx.pending()
+}
+
 // RatePct returns node's current congestion-throttle rate in percent of
 // line rate; 100 when unthrottled or when congestion management is
 // disabled.
@@ -274,6 +301,9 @@ func (in *Injector) RatePct(node int) int {
 // number of packets generated. The node set produced is distributed
 // identically to independent per-node draws (inversion sampling).
 func (in *Injector) Cycle() {
+	if in.rtx != nil {
+		in.rtx.cycle(in.net.Now())
+	}
 	if in.src != nil {
 		in.cycleCalendar()
 		return

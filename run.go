@@ -1,6 +1,7 @@
 package cbar
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -34,6 +35,10 @@ type SteadyOptions struct {
 	// MaxMeasure caps the adaptive measurement phase per seed, in
 	// cycles (0 = 4x Measure).
 	MaxMeasure int64
+	// Ctx, when non-nil, cancels the run cooperatively: the cycle loops
+	// check it every measurement bucket and the grid pool between
+	// (load, seed) tasks, so an interrupted sweep stops mid-run.
+	Ctx context.Context
 }
 
 // budget resolves the options against the config's scale defaults,
@@ -44,6 +49,7 @@ func (o SteadyOptions) budget(c Config) sim.Budget {
 	b := sim.Budget{
 		Warmup: o.Warmup, Measure: o.Measure, Seeds: o.Seeds,
 		Adaptive: o.Adaptive, CIRelWidth: o.CIRelWidth, MaxMeasure: o.MaxMeasure,
+		Ctx: o.Ctx,
 	}
 	if b.Warmup == 0 {
 		b.Warmup = def.Warmup
@@ -133,6 +139,15 @@ type SteadyResult struct {
 	Notified  uint64
 	Throttled uint64
 	Shed      uint64
+	// Fault-injection activity over the measurement windows, summed
+	// across seeds; all zero unless Config.Faults schedules faults.
+	// Dropped counts packets killed on failing links or routers, Retried
+	// the killed packets successfully re-injected by their sources, and
+	// Unroutable the packets aimed at (or caught inside) a partitioned
+	// region of the fabric.
+	Dropped    uint64
+	Retried    uint64
+	Unroutable uint64
 }
 
 func fromSimSteady(r sim.SteadyResult) SteadyResult {
@@ -162,6 +177,9 @@ func fromSimSteady(r sim.SteadyResult) SteadyResult {
 		Notified:        r.Notified,
 		Throttled:       r.Throttled,
 		Shed:            r.Shed,
+		Dropped:         r.Dropped,
+		Retried:         r.Retried,
+		Unroutable:      r.Unroutable,
 	}
 }
 
@@ -338,6 +356,13 @@ type ExperimentOptions struct {
 	// simulation of the experiment. The zero value keeps it off,
 	// reproducing pre-congestion figures bit-identically.
 	Congestion Congestion
+	// Faults schedules the fault-injection plan in every simulation of
+	// the experiment. The zero value keeps it off, reproducing pre-fault
+	// figures bit-identically.
+	Faults Faults
+	// Ctx, when non-nil, cancels the experiment cooperatively (checked
+	// every measurement bucket and between grid tasks).
+	Ctx context.Context
 }
 
 // RunExperimentOpts is RunExperiment with budget overrides.
@@ -359,6 +384,8 @@ func RunExperimentOpts(id string, s Scale, opt ExperimentOptions, w io.Writer) e
 	}
 	b.Workers = opt.Workers
 	b.Congestion = opt.Congestion.internal()
+	b.Faults = opt.Faults.internal()
+	b.Ctx = opt.Ctx
 	b.Adaptive = opt.Adaptive
 	b.CIRelWidth = opt.CIRelWidth
 	b.MaxMeasure = opt.MaxMeasure
