@@ -242,4 +242,55 @@
 // wall-clock time and nothing else. Sweeps split GOMAXPROCS
 // automatically: wide load×seed grids parallelize across runs, narrow
 // (paper-scale) grids shard inside each run.
+//
+// # Determinism contracts
+//
+// Everything above rests on one promise: a (configuration, seed) pair
+// produces bit-identical traces at every worker count and across
+// commits. The dynamic guards — the equivalence tests, golden CSVs and
+// CheckInvariants sweeps — catch a violation after it happens, on some
+// input; the source-level contracts below make violations build breaks
+// instead. They are enforced mechanically by detlint (internal/lint,
+// run as `go run ./cmd/detlint ./...`, a hard CI gate) over the
+// deterministic packages internal/{router,routing,sim,traffic,core,
+// topology}:
+//
+//   - Map-iteration order (maprange): no `range` over a map. Go
+//     randomizes iteration order per run, so any map range whose visit
+//     order can reach simulation state — counters, schedules, RNG
+//     draws, output rows — is a bug. A range that provably normalizes
+//     its order (sorts the keys, reduces commutatively into per-key
+//     slots, asserts per-key facts in tests) carries a
+//     `//lint:ordered <reason>` annotation; the annotation analyzer
+//     rejects reason-less or stale annotations.
+//   - RNG purity (rngpurity): no math/rand, no time.Now. Every random
+//     decision draws from the per-entity PCG streams of internal/rng,
+//     and every stream is seeded from (run seed, entity id) or split
+//     off an existing stream — never from wall clock, process state or
+//     a value whose derivation the analyzer cannot trace to a seed.
+//   - Sequential points (sequentialpoint): delivery and notification
+//     replay, fault-event application, Alg.BeginCycle and the outbox
+//     merge mutate cross-shard state with no synchronization of their
+//     own; they are registered barrier-only and may only be called
+//     from their registered call sites in Step/stepParallel, may never
+//     be taken as function values, and may not be reachable through
+//     the call graph from the parallel phase roots (the shard worker
+//     bodies and the routing hook surface Route/OnHead/OnArrive/
+//     OnDequeue/OnGrant).
+//   - Field encapsulation (fieldenc): the accounting fields the
+//     invariant auditor and the watcher pipeline lean on — port
+//     occupancy (written only via Router.occDelta, which fires the
+//     threshold watchers), credit/output-buffer counters, ECN-hot
+//     flags, active-set membership — may only be assigned inside their
+//     registered mutator functions.
+//   - Float accumulation order (floatorder): no compound float
+//     assignment inside a loop whose iteration order is
+//     nondeterministic; float addition is not associative, and
+//     run-dependent low bits poison the golden CSVs and the CI
+//     regression gates.
+//
+// The registry of contracts lives in lint.DefaultConfig; new
+// deterministic packages (e.g. additional topology backends) join by
+// adding their import path and registering their own barrier-only
+// functions and encapsulated fields.
 package cbar

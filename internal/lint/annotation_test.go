@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestAnnotationCheck(t *testing.T) {
+	runFixture(t, AnnotationCheck, fixtureConfig(), "annotation")
+}

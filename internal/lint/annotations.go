@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The `//lint:ordered <reason>` annotation is the suite's escape hatch:
+// it asserts that a map (or channel) range statement's iteration order
+// does not escape into simulation state — the body normalizes the order
+// (sorts, reduces commutatively into per-key slots, or only asserts
+// per-key facts) — and it must say why. The annotation attaches to the
+// range statement it precedes (its own line immediately above the `for`)
+// or trails (same line as the `for`).
+
+// orderedDirective is the comment prefix of the annotation.
+const orderedDirective = "//lint:ordered"
+
+// Annotation is one parsed //lint:ordered comment.
+type Annotation struct {
+	Pos    token.Pos
+	Line   int
+	Reason string
+}
+
+// scanAnnotations indexes every //lint:ordered comment per file by line.
+// Called after Syntax is complete (re-run when external test files are
+// folded in).
+func (p *Package) scanAnnotations() {
+	if p.annotations == nil {
+		p.annotations = make(map[*ast.File]map[int]*Annotation)
+	}
+	for _, f := range p.Syntax {
+		if p.annotations[f] != nil {
+			continue
+		}
+		byLine := make(map[int]*Annotation)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, orderedDirective)
+				if !ok {
+					continue
+				}
+				// Require end-of-token after the directive: reject
+				// "//lint:orderedish".
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				byLine[line] = &Annotation{
+					Pos:    c.Pos(),
+					Line:   line,
+					Reason: strings.TrimSpace(text),
+				}
+			}
+		}
+		p.annotations[f] = byLine
+	}
+}
+
+// orderedFor returns the annotation attached to a range statement: one
+// on the `for` keyword's own line (trailing comment) or on the line
+// directly above (leading comment).
+func (p *Package) orderedFor(f *ast.File, rs *ast.RangeStmt) *Annotation {
+	byLine := p.annotations[f]
+	if byLine == nil {
+		return nil
+	}
+	line := p.Fset.Position(rs.For).Line
+	if a := byLine[line]; a != nil {
+		return a
+	}
+	return byLine[line-1]
+}

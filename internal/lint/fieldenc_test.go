@@ -1,0 +1,13 @@
+package lint
+
+import "testing"
+
+func TestFieldEnc(t *testing.T) {
+	const p = "fixture/fieldenc"
+	cfg := fixtureConfig()
+	cfg.Fields = []FieldRule{
+		{Type: p + ".Port", Field: "occ", Writers: []string{p + ".Router.occDelta"}},
+		{Type: p + ".Port", Field: "credits", Writers: []string{p + ".newRouter"}},
+	}
+	runFixture(t, FieldEnc, cfg, "fieldenc")
+}

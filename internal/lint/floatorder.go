@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrder flags floating-point accumulation inside loops whose
+// iteration order is nondeterministic. Float addition is not
+// associative: summing latencies over a map range produces
+// run-dependent low bits, which the bit-identical-trace contract (and
+// the CI regression gates comparing aggregate metrics) cannot absorb.
+// Any compound float assignment (+=, -=, *=, /=) lexically inside an
+// unannotated map or channel range is a finding; fix by accumulating
+// over sorted keys, by summing into per-key slots reduced later in a
+// fixed order, or by annotating the loop with `//lint:ordered <reason>`
+// when the accumulation is provably order-free (e.g. integer-valued
+// floats within exact range).
+var FloatOrder = &Analyzer{
+	Name:  "floatorder",
+	Doc:   "no float accumulation in loops with nondeterministic iteration order",
+	Tests: true,
+	Run:   runFloatOrder,
+}
+
+// floatAccumOps are the compound assignment operators whose repeated
+// application is order-sensitive on floats.
+var floatAccumOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true,
+}
+
+func runFloatOrder(pass *Pass) {
+	pkg := pass.Pkg
+	pass.files(func(f *ast.File) {
+		pass.inspectUnordered(f, func(n ast.Node, inUnordered bool) {
+			if !inUnordered {
+				return
+			}
+			st, ok := n.(*ast.AssignStmt)
+			if !ok || !floatAccumOps[st.Tok] || len(st.Lhs) != 1 {
+				return
+			}
+			if !isFloatType(pkg.Info.TypeOf(st.Lhs[0])) {
+				return
+			}
+			pass.Reportf(st.TokPos,
+				"float %s inside a range with nondeterministic iteration order: accumulation order changes the result bits; sort the keys or reduce into per-key slots",
+				st.Tok)
+		})
+	})
+}
+
+// isFloatType reports whether t's underlying type is a float or complex
+// basic type.
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

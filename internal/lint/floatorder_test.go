@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestFloatOrder(t *testing.T) {
+	runFixture(t, FloatOrder, fixtureConfig(), "floatorder")
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixture harness: each analyzer test points at a directory under
+// testdata/src containing a small synthetic package whose lines carry
+// `// want `regex`` comments on every line expected to produce a
+// finding. The harness type-checks the fixture, runs one analyzer with
+// a fixture-local Config, and fails on any unmatched finding or
+// unsatisfied want.
+
+// moduleDir is the repository root (tests run with the package directory
+// as working directory).
+const moduleDir = "../.."
+
+// A want comment expects a finding on its own line; the optional signed
+// offset (`// want-1 ...`) shifts the expected line, for findings that
+// land on comment lines (the annotation analyzer reports on the
+// //lint:ordered line itself, which cannot also hold a want).
+var wantRe = regexp.MustCompile("// want([+-][0-9]+)? `([^`]+)`")
+
+// runFixture applies one analyzer to testdata/src/<name> under cfg and
+// diffs the findings against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, cfg *Config, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadFixture(moduleDir, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := scanWants(t, dir)
+	diags := RunAnalyzers(pkg, cfg, []*Analyzer{a})
+
+	matched := make(map[wantKey]bool)
+	for _, d := range diags {
+		key := wantKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+		re, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected finding at %s:%d: %s", key.file, key.line, d.Message)
+			continue
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("finding at %s:%d does not match want %q: %s", key.file, key.line, re, d.Message)
+			continue
+		}
+		matched[key] = true
+	}
+	for key, re := range wants {
+		if !matched[key] {
+			t.Errorf("missing finding at %s:%d matching %q", key.file, key.line, re)
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// scanWants collects the `// want` comments of every fixture file,
+// keyed by (basename, line).
+func scanWants(t *testing.T, dir string) map[wantKey]*regexp.Regexp {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[wantKey]*regexp.Regexp)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[2])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, m[2], err)
+			}
+			at := i + 1
+			if m[1] != "" {
+				off, err := strconv.Atoi(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want offset %q: %v", e.Name(), i+1, m[1], err)
+				}
+				at += off
+			}
+			wants[wantKey{file: e.Name(), line: at}] = re
+		}
+	}
+	return wants
+}
+
+// fixtureConfig returns a minimal Config for fixtures: only the RNG
+// package registration is shared with the real registry; the structural
+// registries are built per test.
+func fixtureConfig() *Config {
+	return &Config{RNGPackage: "cbar/internal/rng"}
+}

@@ -1,0 +1,448 @@
+// Package lint implements detlint, a static-analysis suite that
+// mechanically enforces the engine's determinism contracts.
+//
+// The simulator's headline promise — bit-identical traces at every
+// worker count and across commits — is guarded dynamically by the
+// equivalence tests and CheckInvariants sweeps. Those catch a violation
+// after it happens, on some input. The analyzers here enforce the
+// ordering rules at the source level instead, so a violation is a build
+// break:
+//
+//   - maprange: no `range` over a map in the deterministic packages
+//     unless the statement carries a `//lint:ordered <reason>`
+//     annotation proving the iteration order does not escape.
+//   - rngpurity: no math/rand, no time.Now, no rng seeding whose seed
+//     argument is not derived from (run seed, entity id), and no
+//     seeding from inside an unordered map iteration.
+//   - sequentialpoint: the registered barrier-only functions (fault
+//     event application, Alg.BeginCycle, delivery/notification replay)
+//     may only be called from their registered sequential-point call
+//     sites, never from inside the parallel phase call graphs.
+//   - fieldenc: the accounting fields (occ, credit counters, active-set
+//     membership, ecnHot, …) may only be assigned by their sanctioned
+//     mutator functions.
+//   - floatorder: no floating-point `+=` accumulation inside a loop
+//     whose iteration order is not provably deterministic (map range,
+//     channel range).
+//   - annotation: every `//lint:ordered` annotation must carry a reason
+//     and must be attached to a map or channel range statement — stale
+//     annotations are findings, not dead weight.
+//
+// The suite is configuration-driven (Config) so the fixture tests can
+// point the same analyzers at small synthetic packages, and so the
+// deterministic-package set can grow (the multi-topology backends will
+// join it) without touching analyzer code. cmd/detlint runs the suite
+// over the repository and is a hard CI gate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Tests reports whether the analyzer also covers _test.go files.
+	// The structural analyzers (sequentialpoint, fieldenc) cover only
+	// non-test code: tests run at sequential points by construction and
+	// routinely poke state to build scenarios.
+	Tests bool
+	Run   func(*Pass)
+}
+
+// Analyzers is the detlint suite, in execution order.
+var Analyzers = []*Analyzer{
+	MapRange,
+	RNGPurity,
+	SequentialPoint,
+	FieldEnc,
+	FloatOrder,
+	AnnotationCheck,
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Cfg      *Config
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// files yields the syntax trees the analyzer covers (skipping test files
+// unless the analyzer opts in).
+func (p *Pass) files(fn func(f *ast.File)) {
+	for i, f := range p.Pkg.Syntax {
+		if p.Pkg.TestFile[i] && !p.Analyzer.Tests {
+			continue
+		}
+		fn(f)
+	}
+}
+
+// Config parameterizes the suite. DefaultConfig returns the repository's
+// real contract registry; fixture tests build small ones of their own.
+type Config struct {
+	// DeterministicPkgs lists the import paths whose source must obey
+	// the determinism contracts. Only these packages are analyzed.
+	DeterministicPkgs []string
+
+	// RNGPackage is the import path of the sanctioned generator package
+	// (its New/Seed entry points are the seeding calls rngpurity vets).
+	RNGPackage string
+
+	// BarrierOnly maps a function key (see funcKey) to the keys of its
+	// sanctioned callers. Any other call site — and in particular any
+	// call reachable from a parallel phase — is a finding.
+	BarrierOnly map[string][]string
+
+	// ParallelRoots lists the function keys whose call graphs form the
+	// parallel sections: nothing reachable from them may call a
+	// barrier-only function.
+	ParallelRoots []string
+
+	// ParallelRootMethods lists method *names* treated as parallel roots
+	// on any receiver type (the Algorithm hook surface: Route, OnHead,
+	// …). New algorithm implementations inherit the rule without a
+	// config edit.
+	ParallelRootMethods []string
+
+	// Fields lists the encapsulated accounting fields and their
+	// sanctioned writer functions.
+	Fields []FieldRule
+}
+
+// FieldRule declares one encapsulated field: assignments to
+// Type.Field are only sanctioned inside the Writers functions.
+type FieldRule struct {
+	// Type is the owning named type's key: "<pkgpath>.<TypeName>".
+	Type string
+	// Field is the field name.
+	Field string
+	// Writers are the funcKey()s of the sanctioned mutators.
+	Writers []string
+}
+
+// IsDeterministic reports whether pkg path is under contract.
+func (c *Config) IsDeterministic(path string) bool {
+	for _, p := range c.DeterministicPkgs {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultConfig returns the registry of determinism contracts for this
+// repository. It is the single place the contracts live; doc.go's
+// "Determinism contracts" section documents each entry.
+func DefaultConfig() *Config {
+	const (
+		router  = "cbar/internal/router"
+		routing = "cbar/internal/routing"
+	)
+	return &Config{
+		DeterministicPkgs: []string{
+			"cbar/internal/router",
+			"cbar/internal/routing",
+			"cbar/internal/sim",
+			"cbar/internal/traffic",
+			"cbar/internal/core",
+			"cbar/internal/topology",
+		},
+		RNGPackage: "cbar/internal/rng",
+		// The sequential-point registry. Keys and callers are funcKey()
+		// strings: "<pkgpath>.<Recv>.<method>" / "<pkgpath>.<func>".
+		//
+		// The replay/apply family runs at the handle barrier of Step —
+		// Step (sequential) and stepParallel (coordinator, workers
+		// parked) are the only sanctioned call sites; BeginCycle is the
+		// interface method hosting the group-wide exchanges at the same
+		// barrier; mergeOutboxes is the cycle barrier itself. Calling any
+		// of them from the parallel phase graphs (ParallelRoots below)
+		// would race or reorder cross-shard effects.
+		BarrierOnly: map[string][]string{
+			router + ".Network.replayDeliveries":    {router + ".Network.Step", router + ".Network.stepParallel"},
+			router + ".Network.replayNotifications": {router + ".Network.Step", router + ".Network.stepParallel"},
+			router + ".Network.applyFaults":         {router + ".Network.Step", router + ".Network.stepParallel"},
+			router + ".Network.applyFaultEvent":     {router + ".Network.applyFaults"},
+			router + ".Network.mergeOutboxes":       {router + ".Network.stepParallel"},
+			router + ".Algorithm.BeginCycle":        {router + ".Network.Step", router + ".Network.stepParallel"},
+			// Algorithm implementations: their BeginCycle bodies are
+			// reached only through the interface dispatch above, never
+			// called directly inside package routing.
+			routing + ".pbAlg.BeginCycle":       {},
+			routing + ".ectnAlg.BeginCycle":     {},
+			routing + ".baseProbAlg.BeginCycle": {},
+		},
+		ParallelRoots: []string{
+			router + ".Network.handle",
+			router + ".Network.handleShardBucket",
+			router + ".Network.stepShard",
+			router + ".Network.nicDrain",
+			router + ".Router.routePhase",
+			router + ".Router.allocate",
+			router + ".Router.grant",
+			router + ".Router.linkPhase",
+			router + ".Router.faultAdjust",
+			router + ".Router.escapeVC",
+		},
+		// Any method with one of these names is a parallel root wherever
+		// it is declared: the Algorithm hook surface runs inside the
+		// phase graphs, so future algorithm implementations inherit the
+		// rule with no config edit.
+		ParallelRootMethods: []string{"Route", "OnHead", "OnArrive", "OnDequeue", "OnGrant"},
+		// The accounting fields and their sanctioned mutators. occ is
+		// written only by occDelta (the watcher-firing mutation point);
+		// credits/outFree only by the grant path, the event handler and
+		// the fault kill-reversal sweep; ecnHot only by the watcher Build
+		// registers; active-set membership only by the set's own methods.
+		Fields: []FieldRule{
+			{Type: router + ".outPort", Field: "occ",
+				Writers: []string{router + ".Router.occDelta"}},
+			{Type: router + ".outPort", Field: "occCap",
+				Writers: []string{router + ".newRouter"}},
+			{Type: router + ".outPort", Field: "credits",
+				Writers: []string{router + ".newRouter", router + ".Router.grant", router + ".Network.handle",
+					router + ".Network.killStagedQueue", router + ".Network.faultScanEvent"}},
+			{Type: router + ".outPort", Field: "outFree",
+				Writers: []string{router + ".newRouter", router + ".Router.grant", router + ".Network.handle",
+					router + ".Network.killStagedQueue", router + ".Network.faultScanEvent"}},
+			{Type: router + ".outPort", Field: "ecnHot",
+				Writers: []string{router + ".Build"}},
+			{Type: router + ".outPort", Field: "markTh",
+				Writers: []string{router + ".newRouter", router + ".Build"}},
+			{Type: router + ".activeSet", Field: "ids",
+				Writers: []string{router + ".activeSet.add", router + ".activeSet.setLive"}},
+			{Type: router + ".activeSet", Field: "in",
+				Writers: []string{router + ".activeSet.add", router + ".activeSet.drop"}},
+			{Type: router + ".activeSet", Field: "sortedLen",
+				Writers: []string{router + ".activeSet.sorted", router + ".activeSet.setLive"}},
+		},
+	}
+}
+
+// Run loads the packages matched by patterns under dir and applies every
+// analyzer to the deterministic packages, returning the findings sorted
+// by position.
+func Run(dir string, cfg *Config, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !cfg.IsDeterministic(pkg.Path) {
+			continue
+		}
+		diags = append(diags, RunAnalyzers(pkg, cfg, Analyzers)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunAnalyzers applies the given analyzers to one package.
+func RunAnalyzers(pkg *Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Cfg: cfg, Pkg: pkg, diags: &diags}
+		a.Run(pass)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// --- shared helpers ---
+
+// funcKey canonicalizes a function or method for the Config registries:
+// "<pkgpath>.<func>" for package functions, "<pkgpath>.<Recv>.<method>"
+// for methods (pointer receivers are stripped; interface methods use the
+// interface type's name).
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				return obj.Pkg().Path() + "." + obj.Name() + "." + fn.Name()
+			}
+			return obj.Name() + "." + fn.Name()
+		}
+		// Receiver is not a named type (e.g. an unnamed interface).
+		if fn.Pkg() != nil {
+			return fn.Pkg().Path() + ".?." + fn.Name()
+		}
+		return "?." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes (package
+// function, method, or interface method), or nil for indirect calls
+// through function values, conversions and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Func).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// declIndex locates the FuncDecl lexically enclosing a position, per
+// file. Function literals attribute to their enclosing declaration.
+type declIndex struct {
+	fset  *token.FileSet
+	decls []*ast.FuncDecl
+}
+
+func newDeclIndex(pkg *Package, testsToo bool) *declIndex {
+	idx := &declIndex{fset: pkg.Fset}
+	for i, f := range pkg.Syntax {
+		if pkg.TestFile[i] && !testsToo {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				idx.decls = append(idx.decls, fd)
+			}
+		}
+	}
+	return idx
+}
+
+// enclosing returns the FuncDecl containing pos, or nil (package-level
+// initializer expressions).
+func (idx *declIndex) enclosing(pos token.Pos) *ast.FuncDecl {
+	for _, d := range idx.decls {
+		if d.Pos() <= pos && pos <= d.End() {
+			return d
+		}
+	}
+	return nil
+}
+
+// declKey returns funcKey for a declaration, via its Defs entry.
+func declKey(info *types.Info, d *ast.FuncDecl) string {
+	if fn, ok := info.Defs[d.Name].(*types.Func); ok {
+		return funcKey(fn)
+	}
+	return d.Name.Name
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// hasSeedName reports whether an identifier names a seed by convention
+// (contains "seed", case-insensitive): net.seed, fc.RandomSeed, seed.
+func hasSeedName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "seed")
+}
+
+// inspectUnordered walks a file and calls visit for every node, telling
+// it whether the node lies inside a range statement whose iteration
+// order is nondeterministic — a range over a map or a channel that does
+// not carry a //lint:ordered annotation. Shared by rngpurity and
+// floatorder, which both taint effects by enclosing iteration order.
+func (p *Pass) inspectUnordered(f *ast.File, visit func(n ast.Node, inUnordered bool)) {
+	pkg := p.Pkg
+	var walk func(n ast.Node, inUnordered bool)
+	walk = func(n ast.Node, inUnordered bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || m == n {
+				return m == n
+			}
+			if rs, ok := m.(*ast.RangeStmt); ok {
+				inner := inUnordered
+				t := pkg.Info.TypeOf(rs.X)
+				if (isMapType(t) || isChanType(t)) && pkg.orderedFor(f, rs) == nil {
+					inner = true
+				}
+				visit(rs, inUnordered)
+				walk(rs, inner)
+				return false
+			}
+			visit(m, inUnordered)
+			return true
+		})
+	}
+	walk(f, false)
+}

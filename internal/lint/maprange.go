@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// MapRange forbids ranging over a map in the deterministic packages:
+// map iteration order is randomized per run, so any map range whose
+// visit order can reach simulation state (counters, schedules, RNG
+// draws, output rows) breaks the bit-identical-trace contract. A range
+// that provably normalizes the order carries a `//lint:ordered <reason>`
+// annotation stating why the order does not escape.
+var MapRange = &Analyzer{
+	Name:  "maprange",
+	Doc:   "forbid unordered map iteration in deterministic packages",
+	Tests: true,
+	Run:   runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	pkg := pass.Pkg
+	pass.files(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapType(pkg.Info.TypeOf(rs.X)) {
+				return true
+			}
+			if pkg.orderedFor(f, rs) != nil {
+				return true // annotated; the annotation analyzer vets the reason
+			}
+			pass.Reportf(rs.For,
+				"range over map: iteration order is nondeterministic; sort the keys, or annotate the statement with `//lint:ordered <reason>` proving the order does not escape")
+			return true
+		})
+	})
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestMapRange(t *testing.T) {
+	runFixture(t, MapRange, fixtureConfig(), "maprange")
+}

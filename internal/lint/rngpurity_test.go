@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestRNGPurity(t *testing.T) {
+	runFixture(t, RNGPurity, fixtureConfig(), "rngpurity")
+}

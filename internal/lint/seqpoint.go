@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SequentialPoint enforces the barrier placement of the engine's
+// sequential points. The parallel step interleaves two fork/join
+// sections (handle+route, link+merge); between them — all workers
+// parked — the coordinator replays deliveries and notifications,
+// applies fault events and runs Alg.BeginCycle. Those functions mutate
+// cross-shard state with no synchronization of their own, so the source
+// must guarantee they execute only at their registered call sites:
+//
+//   - a direct call to a barrier-only function from any function other
+//     than its sanctioned callers is a finding;
+//   - a barrier-only function used as a value (method expression, method
+//     value, assignment to a variable) is a finding — the reference
+//     could escape to an arbitrary call site;
+//   - any sanctioned caller or barrier-only function reachable through
+//     the intra-package call graph from a parallel root (the shard
+//     worker bodies and the Algorithm hook surface) is a finding, even
+//     when every individual edge looks sanctioned.
+//
+// Tests are exempt: they run single-goroutine at sequential points by
+// construction, and the scenario builders poke these functions on
+// purpose.
+var SequentialPoint = &Analyzer{
+	Name: "sequentialpoint",
+	Doc:  "barrier-only functions may only run at their registered sequential points",
+	Run:  runSequentialPoint,
+}
+
+func runSequentialPoint(pass *Pass) {
+	cfg := pass.Cfg
+	if len(cfg.BarrierOnly) == 0 {
+		return
+	}
+	pkg := pass.Pkg
+	idx := newDeclIndex(pkg, false)
+
+	allowed := func(barrier, caller string) bool {
+		for _, ok := range cfg.BarrierOnly[barrier] {
+			if ok == caller {
+				return true
+			}
+		}
+		return false
+	}
+
+	// sequentialOnly is every function that must not run inside a
+	// parallel section: the barrier-only functions and their sanctioned
+	// callers (reaching Network.Step from routePhase is as fatal as
+	// reaching replayDeliveries directly).
+	sequentialOnly := make(map[string]bool)
+	for barrier, callers := range cfg.BarrierOnly {
+		sequentialOnly[barrier] = true
+		for _, c := range callers {
+			sequentialOnly[c] = true
+		}
+	}
+
+	type edge struct {
+		callee string
+		pos    token.Pos
+	}
+	graph := make(map[string][]edge)
+
+	// calleeIdents collects the identifiers that appear in call position,
+	// so any *other* use of a barrier-only function is an escaping
+	// reference.
+	calleeIdents := make(map[*ast.Ident]bool)
+
+	pass.files(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				calleeIdents[fun] = true
+			case *ast.SelectorExpr:
+				calleeIdents[fun.Sel] = true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			key := funcKey(fn)
+			caller := ""
+			if d := idx.enclosing(call.Pos()); d != nil {
+				caller = declKey(pkg.Info, d)
+			}
+			graph[caller] = append(graph[caller], edge{callee: key, pos: call.Pos()})
+			if _, isBarrier := cfg.BarrierOnly[key]; isBarrier && !allowed(key, caller) {
+				site := caller
+				if site == "" {
+					site = "a package-level initializer"
+				}
+				pass.Reportf(call.Pos(),
+					"%s is barrier-only (sequential point); %s is not a sanctioned call site (sanctioned: %s)",
+					key, site, callerList(cfg.BarrierOnly[key]))
+			}
+			return true
+		})
+	})
+
+	// Escaping references: a barrier-only function mentioned outside call
+	// position (method value, method expression, assignment).
+	pass.files(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || calleeIdents[id] {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			key := funcKey(fn)
+			if _, isBarrier := cfg.BarrierOnly[key]; isBarrier {
+				pass.Reportf(id.Pos(),
+					"%s is barrier-only (sequential point); taking it as a value lets it escape its sanctioned call sites", key)
+			}
+			return true
+		})
+	})
+
+	// Reachability: nothing in sequentialOnly may be reachable from a
+	// parallel root. BFS over the intra-package call graph; the finding
+	// is reported at the call edge that crosses into sequential-point
+	// territory.
+	roots := parallelRootDecls(pass, idx)
+	seen := make(map[string]bool)
+	queue := make([]string, 0, len(roots))
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		for _, e := range graph[key] {
+			if sequentialOnly[e.callee] {
+				pass.Reportf(e.pos,
+					"%s runs only at sequential points but is reachable from a parallel root through %s",
+					e.callee, key)
+			}
+			if !seen[e.callee] {
+				seen[e.callee] = true
+				queue = append(queue, e.callee)
+			}
+		}
+	}
+}
+
+// parallelRootDecls resolves the configured parallel roots to function
+// keys declared in this package: exact-key matches plus any method whose
+// name is in ParallelRootMethods.
+func parallelRootDecls(pass *Pass, idx *declIndex) []string {
+	cfg := pass.Cfg
+	exact := make(map[string]bool, len(cfg.ParallelRoots))
+	for _, r := range cfg.ParallelRoots {
+		exact[r] = true
+	}
+	byMethod := make(map[string]bool, len(cfg.ParallelRootMethods))
+	for _, m := range cfg.ParallelRootMethods {
+		byMethod[m] = true
+	}
+	var roots []string
+	for _, d := range idx.decls {
+		key := declKey(pass.Pkg.Info, d)
+		if exact[key] || (d.Recv != nil && byMethod[d.Name.Name]) {
+			roots = append(roots, key)
+		}
+	}
+	sort.Strings(roots)
+	return roots
+}
+
+// callerList renders a sanctioned-caller set for diagnostics.
+func callerList(callers []string) string {
+	if len(callers) == 0 {
+		return "none — interface dispatch only"
+	}
+	return strings.Join(callers, ", ")
+}

@@ -1,0 +1,23 @@
+package lint
+
+import "testing"
+
+func TestSequentialPointDirect(t *testing.T) {
+	const p = "fixture/seqpoint_direct"
+	cfg := fixtureConfig()
+	cfg.BarrierOnly = map[string][]string{
+		p + ".Net.replay": {p + ".Net.Step"},
+	}
+	runFixture(t, SequentialPoint, cfg, "seqpoint_direct")
+}
+
+func TestSequentialPointReachability(t *testing.T) {
+	const p = "fixture/seqpoint_reach"
+	cfg := fixtureConfig()
+	cfg.BarrierOnly = map[string][]string{
+		p + ".Net.replay": {p + ".Net.Step"},
+	}
+	cfg.ParallelRoots = []string{p + ".Net.worker"}
+	cfg.ParallelRootMethods = []string{"Route"}
+	runFixture(t, SequentialPoint, cfg, "seqpoint_reach")
+}

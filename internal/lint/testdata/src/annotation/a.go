@@ -1,0 +1,46 @@
+// Package annotation exercises the annotation analyzer: every
+// //lint:ordered must carry a reason and must guard an actual map or
+// channel range statement.
+package annotation
+
+func good(m map[int]int) int {
+	s := 0
+	//lint:ordered commutative integer sum; order does not escape
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func goodTrailing(m map[int]int) int {
+	n := 0
+	for range m { //lint:ordered counting only; order does not escape
+		n++
+	}
+	return n
+}
+
+func missingReason(m map[int]int) int {
+	s := 0
+	//lint:ordered
+	for _, v := range m { // want-1 `without a reason`
+		s += v
+	}
+	return s
+}
+
+func stale(xs []int) int {
+	s := 0
+	//lint:ordered left behind by a refactor
+	for _, v := range xs { // want-1 `stale`
+		s += v
+	}
+	return s
+}
+
+func staleNowhere() int {
+	x := 1
+	//lint:ordered not even near a loop
+	x++ // want-1 `stale`
+	return x
+}

@@ -1,0 +1,71 @@
+// Package floatorder exercises the floatorder analyzer: compound float
+// assignment inside an unannotated map (or channel) range is a finding;
+// integer accumulation, ordered loops, and annotated ranges are not.
+package floatorder
+
+import "sort"
+
+func badSum(lat map[int]float64) float64 {
+	total := 0.0
+	for _, v := range lat {
+		total += v // want `float \+= inside a range`
+	}
+	return total
+}
+
+func badNested(groups map[string][]float64) float64 {
+	total := 0.0
+	for _, vs := range groups {
+		for _, v := range vs {
+			total += v // want `float \+= inside a range`
+		}
+	}
+	return total
+}
+
+func badChan(ch chan float64) float64 {
+	total := 0.0
+	for v := range ch {
+		total *= v // want `float \*= inside a range`
+	}
+	return total
+}
+
+func goodIntCount(lat map[int]float64) int {
+	n := 0
+	for range lat {
+		n++
+	}
+	return n
+}
+
+func goodIntSum(counts map[int]int) int {
+	s := 0
+	for _, c := range counts {
+		s += c
+	}
+	return s
+}
+
+func goodSorted(lat map[int]float64) float64 {
+	keys := make([]int, 0, len(lat))
+	//lint:ordered collecting keys for sorting; values untouched
+	for k := range lat {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += lat[k]
+	}
+	return total
+}
+
+func goodAnnotated(bins map[int]float64) float64 {
+	total := 0.0
+	//lint:ordered bin values are exact small integers; addition is associative in range
+	for _, v := range bins {
+		total += v
+	}
+	return total
+}

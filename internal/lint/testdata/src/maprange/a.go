@@ -1,0 +1,58 @@
+// Package maprange exercises the maprange analyzer: unannotated map
+// ranges are findings, annotated ones and slice/array/string ranges are
+// not.
+package maprange
+
+import "sort"
+
+func bad(m map[int]int) int {
+	s := 0
+	for k := range m { // want `range over map`
+		s += k
+	}
+	return s
+}
+
+func badCollect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+func annotatedTrailing(m map[int]int) int {
+	s := 0
+	for k := range m { //lint:ordered commutative integer sum; order does not escape
+		s += k
+	}
+	return s
+}
+
+func annotatedLeading(m map[string]int) []string {
+	var out []string
+	//lint:ordered keys are sorted before use below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func namedMapType(m mapAlias) int {
+	n := 0
+	for range m { // want `range over map`
+		n++
+	}
+	return n
+}
+
+type mapAlias map[int]bool

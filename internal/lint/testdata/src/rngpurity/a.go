@@ -1,0 +1,81 @@
+// Package rngpurity exercises the rngpurity analyzer: banned imports,
+// wall-clock calls, and seeding whose arguments are not derived from
+// (seed, entity id).
+package rngpurity
+
+import (
+	"math/rand" // want `import of math/rand`
+	"time"
+
+	"cbar/internal/rng"
+)
+
+func badGlobalRand() int {
+	return rand.Int()
+}
+
+func badWallClock() int64 {
+	return time.Now().Unix() // want `call to time.Now`
+}
+
+func badElapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time.Since`
+}
+
+func badSeed(x uint64) *rng.PCG {
+	return rng.New(x, 1) // want `seed argument`
+}
+
+func goodSeedParam(seed, id uint64) *rng.PCG {
+	return rng.New(seed, id)
+}
+
+func goodSeedArith(seed, id uint64) *rng.PCG {
+	return rng.New(seed^0x9E3779B9, id+1)
+}
+
+type cfg struct {
+	RandomSeed uint64
+	nodes      uint64
+}
+
+func goodSeedField(c cfg) *rng.PCG {
+	return rng.New(c.RandomSeed, c.nodes)
+}
+
+func goodSeedConst() *rng.PCG {
+	return rng.New(12345, 0)
+}
+
+func goodSplitDerived(p *rng.PCG, id uint64) *rng.PCG {
+	return rng.New(p.Uint64(), id)
+}
+
+func badStreamCall(seed uint64, pick func() uint64) *rng.PCG {
+	return rng.New(seed, pick()) // want `stream argument`
+}
+
+func badSeedInMapRange(seed uint64, live map[int]bool) []*rng.PCG {
+	var out []*rng.PCG
+	for id := range live {
+		out = append(out, rng.New(seed, uint64(id))) // want `inside an unordered map range`
+	}
+	return out
+}
+
+func goodSeedInOrderedRange(seed uint64, live map[int]bool) []*rng.PCG {
+	var out []*rng.PCG
+	//lint:ordered streams are keyed by id, not by visit order
+	for id := range live {
+		out = append(out, rng.New(seed, uint64(id)))
+	}
+	return out
+}
+
+func goodReseed(p *rng.PCG, seed, id uint64) {
+	p.Seed(seed, id)
+}
+
+func badReseed(p *rng.PCG, x, id uint64) {
+	p.Seed(x, id) // want `seed argument`
+}

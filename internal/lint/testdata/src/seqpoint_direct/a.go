@@ -1,0 +1,35 @@
+// Package seqpoint_direct exercises the sequentialpoint analyzer's
+// direct-call and escaping-reference checks: a barrier-only method may
+// be called only from its sanctioned callers, and never taken as a
+// value. (No parallel roots are registered for this fixture; the
+// reachability check is exercised by seqpoint_reach.)
+package seqpoint_direct
+
+type Net struct {
+	events  []int
+	applied int
+}
+
+// replay is registered barrier-only with sanctioned caller Net.Step.
+func (n *Net) replay() {
+	n.applied += len(n.events)
+	n.events = n.events[:0]
+}
+
+func (n *Net) Step() {
+	n.replay()
+}
+
+func (n *Net) debugFlush() {
+	n.replay() // want `not a sanctioned call site`
+}
+
+func flushAll(nets []*Net) {
+	for _, n := range nets {
+		n.replay() // want `not a sanctioned call site`
+	}
+}
+
+func escapes(n *Net) func() {
+	return n.replay // want `taking it as a value`
+}

@@ -93,6 +93,7 @@ func TestParseAndString(t *testing.T) {
 			t.Errorf("Parse(%q) = %v, %v", a.String(), got, err)
 		}
 	}
+	//lint:ordered per-key Parse assertion; order cannot affect outcomes
 	for name, want := range map[string]Algo{
 		"min": Min, "MINIMAL": Min, "val": Valiant, "Valiant": Valiant,
 		"pb": PB, "piggybacking": PB, "olm": OLM,

@@ -105,6 +105,7 @@ func TestAlgStateEquivalenceTransient(t *testing.T) {
 				if len(refHist) != len(evtHist) {
 					t.Fatalf("latency histograms differ in support: %d vs %d bins", len(refHist), len(evtHist))
 				}
+				//lint:ordered per-bin histogram equality; order cannot affect outcomes
 				for lat, cnt := range refHist {
 					if evtHist[lat] != cnt {
 						t.Fatalf("latency %d: reference count %d vs event-driven %d", lat, cnt, evtHist[lat])

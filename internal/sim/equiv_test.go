@@ -95,6 +95,7 @@ func TestStepEquivalenceAcrossAlgorithms(t *testing.T) {
 			if len(fullHist) != len(actHist) {
 				t.Fatalf("latency histograms differ in support: %d vs %d bins", len(fullHist), len(actHist))
 			}
+			//lint:ordered per-bin histogram equality; order cannot affect outcomes
 			for lat, cnt := range fullHist {
 				if actHist[lat] != cnt {
 					t.Fatalf("latency %d: full count %d vs active %d", lat, cnt, actHist[lat])

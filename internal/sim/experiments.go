@@ -135,12 +135,20 @@ func sweepSteady(s Scale, algos []routing.Algo, w Workload, loads []float64, b B
 	if err != nil {
 		return nil, err
 	}
+	// Group in first-appearance order of the job list so the reduction
+	// runs in a deterministic sequence (jobs is built load-major, so the
+	// order is also the output order of the tables).
 	grouped := map[sweepKey][]int{}
+	var keys []sweepKey
 	for i, j := range jobs {
+		if _, ok := grouped[j.key]; !ok {
+			keys = append(keys, j.key)
+		}
 		grouped[j.key] = append(grouped[j.key], i)
 	}
 	out := make(map[sweepKey]SteadyResult, len(grouped))
-	for k, idx := range grouped {
+	for _, k := range keys {
+		idx := grouped[k]
 		rs := make([]SteadyResult, len(idx))
 		hs := make([]*stats.Histogram, len(idx))
 		for i, j := range idx {

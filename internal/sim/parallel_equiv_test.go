@@ -123,6 +123,7 @@ func TestParallelStepEquivalence(t *testing.T) {
 				if len(hist) != len(refHist) {
 					t.Fatalf("workers=%d histogram has %d latencies vs %d", workers, len(hist), len(refHist))
 				}
+				//lint:ordered per-bin histogram equality; order cannot affect outcomes
 				for lat, n := range refHist {
 					if hist[lat] != n {
 						t.Fatalf("workers=%d latency %d count %d vs %d", workers, lat, hist[lat], n)

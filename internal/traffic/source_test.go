@@ -111,6 +111,7 @@ func TestCalendarCycleExactVsNaiveScan(t *testing.T) {
 		seed   = 99
 		cycles = 1200
 	)
+	//lint:ordered each subtest is self-contained and seeded by constants; order only permutes independent t.Run calls
 	for name, spec := range specs {
 		t.Run(name, func(t *testing.T) {
 			netA, traceA := traceNet(t, 3)
@@ -221,6 +222,7 @@ func TestOnOffStatisticallyMatched(t *testing.T) {
 	// Burst correlation inflates the count variance well beyond
 	// Poisson; a generous ±10% band still catches rate bugs (a duty
 	// cycle or peak-rate error shifts the mean by 2x-4x).
+	//lint:ordered independent per-series band checks; order cannot affect outcomes
 	for name, got := range map[string]int64{"sampled": sampled, "naive": naive} {
 		if math.Abs(float64(got)-mean) > 0.10*mean {
 			t.Errorf("%s injections %d, want %.0f +-10%%", name, got, mean)
@@ -366,6 +368,7 @@ func TestSourceInjectorValidation(t *testing.T) {
 		"zero weights":     {Weights: make([]float64, n.Topo.Nodes)},
 		"unknown kind":     {Kind: SourceKind(9)},
 	}
+	//lint:ordered independent per-spec rejection checks; order cannot affect outcomes
 	for name, spec := range cases {
 		load := 0.5
 		if _, err := NewSourceInjector(n, sched, load, 1, spec); err == nil {

@@ -136,6 +136,7 @@ func TestScheduleSwitching(t *testing.T) {
 		t.Fatal(err)
 	}
 	cases := map[int64]string{0: "UN", 99: "UN", 100: "ADV+1", 199: "ADV+1", 200: "UN", 5000: "UN"}
+	//lint:ordered per-key assertion on a pure lookup; order cannot affect outcomes
 	for cyc, want := range cases {
 		if got := s.At(cyc).Name(); got != want {
 			t.Fatalf("At(%d) = %s, want %s", cyc, got, want)
