@@ -4,25 +4,42 @@
 //
 // Usage:
 //
-//	detlint [packages]
+//	detlint [-json] [packages]
 //
 // With no arguments it analyzes ./... relative to the current directory.
 // Only the packages registered as deterministic in the contract registry
 // (lint.DefaultConfig) produce findings; patterns merely bound the load.
+//
+// -json emits one JSON object per finding (file, line, col, analyzer,
+// message) instead of the "path:line:col: message [analyzer]" text form
+// the CI problem matcher consumes.
 //
 // Exit status: 0 with no findings, 1 with findings, 2 on load or
 // type-check failure.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
 	"cbar/internal/lint"
 )
 
+// finding is the -json wire form of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit findings as JSON objects, one per line")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -36,7 +53,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "detlint:", err)
 		os.Exit(2)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *jsonOut {
+			if err := enc.Encode(finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "detlint:", err)
+				os.Exit(2)
+			}
+			continue
+		}
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {

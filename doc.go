@@ -288,9 +288,41 @@
 //     nondeterministic; float addition is not associative, and
 //     run-dependent low bits poison the golden CSVs and the CI
 //     regression gates.
+//   - Shard isolation (shardisolation): a whole-program dataflow over
+//     the call graph from the parallel roots. Within a parallel
+//     section, every write must target state the executing shard
+//     provably owns: derived from the worker's own shard, reached
+//     through a registered shard table with a locally-derived index,
+//     or produced fresh. Reading a registered cross-shard field (a
+//     packet's destination coordinates, a port's upstream/peer
+//     coordinates) taints the derivation, including through function
+//     parameters — handing a tainted index to a helper demotes that
+//     helper's parameter program-wide. Cross-shard effects must flow
+//     through a registered conduit (the mailbox append, the GroupDirty
+//     shard lanes); anything else needs a reviewed
+//     `//lint:sharded <reason>` stating the ownership argument (e.g.
+//     the occupancy watchers, which fire on the port-owning shard).
+//   - Hot-path allocation freedom (allocfree): a whole-program sweep
+//     over the call graph from the hot roots (Step and the parallel
+//     coordinator, event handling, NIC drain, steady-state injection,
+//     the per-cycle traffic driver, the routing hook surface).
+//     make/new, escaping composite literals, appends onto slices not
+//     registered as pooled (or compacted via [:0]), closures, fmt
+//     calls, string concatenation and interface boxing are findings;
+//     panic arguments are exempt, registered ColdPath functions
+//     (fault application, invariant sweeps) prune the walk, and a
+//     reviewed `//lint:alloc <reason>` states why a remaining
+//     allocation is not steady-state (freelist warm-up, amortized
+//     ring doubling, non-escaping predicates). Stale or reason-less
+//     annotations are findings themselves.
 //
 // The registry of contracts lives in lint.DefaultConfig; new
 // deterministic packages (e.g. additional topology backends) join by
 // adding their import path and registering their own barrier-only
-// functions and encapsulated fields.
+// functions and encapsulated fields — plus, for the whole-program
+// rules, their shard tables, cross-shard fields and index-preserving
+// id accessors, and any cross-shard conduit they introduce (a
+// direction-1 topology backend that delivers across shards by a new
+// path must register that function in ShardConduits, or every write it
+// performs is a finding).
 package cbar

@@ -1,0 +1,16 @@
+package lint
+
+import "testing"
+
+// TestAllocFreeFixture drives the allocfree analyzer over a synthetic
+// hot loop with the hot/cold/pooled registries populated fixture-locally.
+func TestAllocFreeFixture(t *testing.T) {
+	const p = "fixture/allocfree"
+	cfg := fixtureConfig()
+	cfg.DeterministicPkgs = []string{p}
+	cfg.HotPath = []string{p + ".Engine.step"}
+	cfg.HotPathMethods = []string{"Route"}
+	cfg.ColdPath = []string{p + ".Engine.audit"}
+	cfg.PooledSlices = []FieldRef{{Type: p + ".Engine", Field: "ring"}}
+	runProgramFixture(t, AllocFree, cfg, "allocfree")
+}

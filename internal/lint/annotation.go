@@ -39,12 +39,19 @@ func runAnnotationCheck(pass *Pass) {
 			guarded[line-1] = true
 			return true
 		})
-		for _, a := range pkg.annotations[f] {
-			if a.Reason == "" {
-				pass.Reportf(a.Pos, "//lint:ordered annotation without a reason: state why the iteration order does not escape")
-			}
-			if !guarded[a.Line] {
-				pass.Reportf(a.Pos, "stale //lint:ordered annotation: not attached to a map or channel range statement")
+		for _, anns := range pkg.annotations[f] {
+			for _, a := range anns {
+				if a.Directive != directiveOrdered {
+					// alloc/sharded annotations are vetted by their own
+					// program analyzers, which know reachability.
+					continue
+				}
+				if a.Reason == "" {
+					pass.Reportf(a.Pos, "//lint:ordered annotation without a reason: state why the iteration order does not escape")
+				}
+				if !guarded[a.Line] {
+					pass.Reportf(a.Pos, "stale //lint:ordered annotation: not attached to a map or channel range statement")
+				}
 			}
 		}
 	})

@@ -6,70 +6,98 @@ import (
 	"strings"
 )
 
-// The `//lint:ordered <reason>` annotation is the suite's escape hatch:
-// it asserts that a map (or channel) range statement's iteration order
-// does not escape into simulation state — the body normalizes the order
-// (sorts, reduces commutatively into per-key slots, or only asserts
-// per-key facts) — and it must say why. The annotation attaches to the
-// range statement it precedes (its own line immediately above the `for`)
-// or trails (same line as the `for`).
+// The `//lint:<directive> <reason>` annotations are the suite's escape
+// hatches. Each one is a reviewed assertion and must say why:
+//
+//   - `//lint:ordered` on a map/chan range: the iteration order does not
+//     escape into simulation state (the body normalizes the order).
+//   - `//lint:alloc` on a hot-path allocating construct: the allocation
+//     is not steady-state (freelist warm-up, amortized growth, one-off
+//     per-cycle coordinator cost already accounted in the baselines).
+//   - `//lint:sharded` on a write the shard-isolation dataflow cannot
+//     prove local: the receiver is in fact owned by the executing shard
+//     (a per-shard lane, a group-indexed slot where groups never span
+//     shards).
+//
+// An annotation attaches to the construct it precedes (its own line
+// immediately above) or trails (same line as the construct).
 
-// orderedDirective is the comment prefix of the annotation.
-const orderedDirective = "//lint:ordered"
+// The recognized directives.
+const (
+	directiveOrdered = "ordered"
+	directiveAlloc   = "alloc"
+	directiveSharded = "sharded"
+)
 
-// Annotation is one parsed //lint:ordered comment.
+// Annotation is one parsed //lint:<directive> comment.
 type Annotation struct {
-	Pos    token.Pos
-	Line   int
-	Reason string
+	Pos       token.Pos
+	Line      int
+	Directive string
+	Reason    string
 }
 
-// scanAnnotations indexes every //lint:ordered comment per file by line.
+// scanAnnotations indexes every //lint: comment per file by line.
 // Called after Syntax is complete (re-run when external test files are
 // folded in).
 func (p *Package) scanAnnotations() {
 	if p.annotations == nil {
-		p.annotations = make(map[*ast.File]map[int]*Annotation)
+		p.annotations = make(map[*ast.File]map[int][]*Annotation)
 	}
 	for _, f := range p.Syntax {
 		if p.annotations[f] != nil {
 			continue
 		}
-		byLine := make(map[int]*Annotation)
+		byLine := make(map[int][]*Annotation)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, orderedDirective)
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
 				if !ok {
 					continue
 				}
-				// Require end-of-token after the directive: reject
-				// "//lint:orderedish".
-				if text != "" && text[0] != ' ' && text[0] != '\t' {
+				directive, reason, _ := strings.Cut(text, " ")
+				directive = strings.TrimSpace(directive)
+				switch directive {
+				case directiveOrdered, directiveAlloc, directiveSharded:
+				default:
 					continue
 				}
 				line := p.Fset.Position(c.Pos()).Line
-				byLine[line] = &Annotation{
-					Pos:    c.Pos(),
-					Line:   line,
-					Reason: strings.TrimSpace(text),
-				}
+				byLine[line] = append(byLine[line], &Annotation{
+					Pos:       c.Pos(),
+					Line:      line,
+					Directive: directive,
+					Reason:    strings.TrimSpace(reason),
+				})
 			}
 		}
 		p.annotations[f] = byLine
 	}
 }
 
-// orderedFor returns the annotation attached to a range statement: one
-// on the `for` keyword's own line (trailing comment) or on the line
-// directly above (leading comment).
-func (p *Package) orderedFor(f *ast.File, rs *ast.RangeStmt) *Annotation {
+// annotationAt returns the directive's annotation attached to a
+// construct on the given line: one on the line itself (trailing comment)
+// or on the line directly above (leading comment).
+func (p *Package) annotationAt(f *ast.File, line int, directive string) *Annotation {
 	byLine := p.annotations[f]
 	if byLine == nil {
 		return nil
 	}
-	line := p.Fset.Position(rs.For).Line
-	if a := byLine[line]; a != nil {
-		return a
+	for _, a := range byLine[line] {
+		if a.Directive == directive {
+			return a
+		}
 	}
-	return byLine[line-1]
+	for _, a := range byLine[line-1] {
+		if a.Directive == directive {
+			return a
+		}
+	}
+	return nil
+}
+
+// orderedFor returns the //lint:ordered annotation attached to a range
+// statement.
+func (p *Package) orderedFor(f *ast.File, rs *ast.RangeStmt) *Annotation {
+	return p.annotationAt(f, p.Fset.Position(rs.For).Line, directiveOrdered)
 }

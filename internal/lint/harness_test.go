@@ -35,9 +35,29 @@ func runFixture(t *testing.T, a *Analyzer, cfg *Config, name string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wants := scanWants(t, dir)
-	diags := RunAnalyzers(pkg, cfg, []*Analyzer{a})
+	diffWants(t, dir, RunAnalyzers(pkg, cfg, []*Analyzer{a}))
+}
 
+// runProgramFixture applies one whole-program analyzer to a fixture
+// package, treated as the entire program, and diffs the findings against
+// the fixture's want comments. cfg.DeterministicPkgs must include the
+// fixture path ("fixture/<name>") for the analyzer to look at it.
+func runProgramFixture(t *testing.T, a *ProgramAnalyzer, cfg *Config, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadFixture(moduleDir, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram([]*Package{pkg}, cfg)
+	diffWants(t, dir, RunProgramAnalyzers(prog, cfg, []*ProgramAnalyzer{a}))
+}
+
+// diffWants fails on any finding without a matching want comment and any
+// want comment without a matching finding.
+func diffWants(t *testing.T, dir string, diags []Diagnostic) {
+	t.Helper()
+	wants := scanWants(t, dir)
 	matched := make(map[wantKey]bool)
 	for _, d := range diags {
 		key := wantKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}

@@ -28,6 +28,16 @@
 //     and must be attached to a map or channel range statement — stale
 //     annotations are findings, not dead weight.
 //
+// Two whole-program dataflow analyzers (see program.go) extend the suite
+// across package boundaries:
+//
+//   - shardisolation: no write reachable from a parallel root may target
+//     state that is not provably shard-local, unless it flows through a
+//     registered cross-shard conduit or carries `//lint:sharded`.
+//   - allocfree: no function reachable from a hot-path root may
+//     heap-allocate in steady state, unless the construct is pooled or
+//     carries `//lint:alloc`.
+//
 // The suite is configuration-driven (Config) so the fixture tests can
 // point the same analyzers at small synthetic packages, and so the
 // deterministic-package set can grow (the multi-topology backends will
@@ -135,6 +145,59 @@ type Config struct {
 	// Fields lists the encapsulated accounting fields and their
 	// sanctioned writer functions.
 	Fields []FieldRule
+
+	// --- shardisolation registries (see shardiso.go) ---
+
+	// GlobalStateTypes lists named types ("<pkgpath>.<TypeName>") that
+	// are globally shared across shards: a receiver or parameter of such
+	// a type is never assumed shard-local.
+	GlobalStateTypes []string
+
+	// ShardTables lists slice/array fields partitioned by the shard id
+	// ranges (Network.Routers, Network.nics, …): indexing one with a
+	// locally-derived index yields shard-local state.
+	ShardTables []FieldRef
+
+	// CrossShardFields lists fields whose values point across the shard
+	// boundary (a packet's destination router, an input port's upstream
+	// coordinates): indexing a shard table with one reaches another
+	// shard.
+	CrossShardFields []FieldRef
+
+	// ShardConduits lists the reviewed cross-shard channels (the mailbox
+	// append, the GroupDirty shard lanes): their bodies are exempt from
+	// the write check and stop parallel-root reachability.
+	ShardConduits []string
+
+	// IndexPreservingFuncs lists pure index-mapping functions (topology
+	// accessors): local arguments in, local result out.
+	IndexPreservingFuncs []string
+
+	// CallbackRegistrars lists functions whose function-literal arguments
+	// are invoked from inside parallel sections (occupancy watchers):
+	// each such literal is analyzed as a parallel root of its own, with
+	// captured variables treated as non-local.
+	CallbackRegistrars []string
+
+	// --- allocfree registries (see allocfree.go) ---
+
+	// HotPath lists the function keys forming the zero-steady-state-
+	// allocation hot path; everything reachable from them is scanned.
+	HotPath []string
+
+	// HotPathMethods lists method names treated as hot-path roots on any
+	// receiver declared in a deterministic package (the Algorithm hook
+	// surface plus BeginCycle) — new algorithm implementations inherit
+	// the rule without a config edit.
+	HotPathMethods []string
+
+	// ColdPath lists reviewed cold boundaries (fault application,
+	// invariant sweeps): hot-path reachability stops there.
+	ColdPath []string
+
+	// PooledSlices lists slice fields with pooled backing arrays:
+	// appending to them reuses steady-state capacity and is exempt.
+	PooledSlices []FieldRef
 }
 
 // FieldRule declares one encapsulated field: assignments to
@@ -165,6 +228,9 @@ func DefaultConfig() *Config {
 	const (
 		router  = "cbar/internal/router"
 		routing = "cbar/internal/routing"
+		traffic = "cbar/internal/traffic"
+		core    = "cbar/internal/core"
+		topo    = "cbar/internal/topology"
 	)
 	return &Config{
 		DeterministicPkgs: []string{
@@ -244,12 +310,119 @@ func DefaultConfig() *Config {
 			{Type: router + ".activeSet", Field: "sortedLen",
 				Writers: []string{router + ".activeSet.sorted", router + ".activeSet.setLive"}},
 		},
+
+		// --- shardisolation (see shardiso.go) ---
+
+		// The Network (one instance, back-pointed from every router) and
+		// the GroupDirty mark aggregator (one instance, written from every
+		// shard through its per-shard lanes) are the globally shared
+		// types: holding one never proves locality.
+		GlobalStateTypes: []string{
+			router + ".Network",
+			core + ".GroupDirty",
+		},
+		// The id-partitioned tables: shards own contiguous router, node
+		// and group ranges, so indexing with a locally-derived id lands
+		// in the executing shard.
+		ShardTables: []FieldRef{
+			{Type: router + ".Network", Field: "Routers"},
+			{Type: router + ".Network", Field: "nics"},
+			{Type: router + ".Network", Field: "groups"},
+			{Type: router + ".Network", Field: "shards"},
+		},
+		// Values that point across the shard boundary: a packet's
+		// endpoints and the fixed upstream/peer coordinates of ports.
+		// Indexing a shard table with one of these is exactly the
+		// cross-shard touch the parallel sections must not make.
+		CrossShardFields: []FieldRef{
+			{Type: router + ".Packet", Field: "Src"},
+			{Type: router + ".Packet", Field: "Dst"},
+			{Type: router + ".Packet", Field: "DstRouter"},
+			{Type: router + ".Packet", Field: "Inter"},
+			{Type: router + ".inPort", Field: "upRouter"},
+			{Type: router + ".inPort", Field: "upPort"},
+			{Type: router + ".outPort", Field: "peerRouter"},
+			{Type: router + ".outPort", Field: "peerPort"},
+		},
+		// The reviewed cross-shard channels. scheduleFrom routes a
+		// cross-shard event into the per-(src,dst) mailbox drained at the
+		// cycle barrier; GroupDirty.Mark appends to the marking shard's
+		// own lane (see core.GroupDirty.Shard). Direction-1 topology
+		// backends must register their equivalents here.
+		ShardConduits: []string{
+			router + ".Network.scheduleFrom",
+			core + ".GroupDirty.Mark",
+		},
+		// Pure id arithmetic: these map a shard-local id to another id of
+		// the same component (a node's router, a router's group, …),
+		// never leaving the owning shard (shards hold whole groups).
+		IndexPreservingFuncs: []string{
+			topo + ".Dragonfly.RouterOfNode",
+			topo + ".Dragonfly.ChannelOfNode",
+			topo + ".Dragonfly.NodeID",
+			topo + ".Dragonfly.GroupOf",
+			topo + ".Dragonfly.GroupOfNode",
+			topo + ".Dragonfly.PosOf",
+			topo + ".Dragonfly.RouterID",
+		},
+		// Occupancy watchers fire inside occDelta, on the owning shard's
+		// parallel phases: every literal registered here is a parallel
+		// root whose captures are non-local until reviewed.
+		CallbackRegistrars: []string{
+			router + ".Network.WatchOccupancy",
+		},
+
+		// --- allocfree (see allocfree.go) ---
+
+		// The zero-steady-state-allocation roots: the cycle steppers
+		// (everything per-cycle hangs off Step), steady-state injection,
+		// and the per-cycle traffic driver.
+		HotPath: []string{
+			router + ".Network.Step",
+			router + ".Network.inject",
+			traffic + ".Injector.Cycle",
+		},
+		// The Algorithm hook surface runs per-packet/per-cycle inside the
+		// phase graphs; BeginCycle hosts the per-cycle group exchanges.
+		HotPathMethods: []string{"Route", "OnHead", "OnArrive", "OnDequeue", "OnGrant", "BeginCycle"},
+		// Reviewed cold boundaries: fault application runs only when a
+		// plan event or kill is due, and the invariant sweeps are
+		// debug/test machinery.
+		ColdPath: []string{
+			router + ".Network.applyFaults",
+			router + ".Network.CheckInvariants",
+		},
+		// Slice fields with pooled backing arrays: appends reuse
+		// steady-state capacity (each is compacted with [:0] or popped at
+		// its drain point, never reallocated per cycle).
+		PooledSlices: []FieldRef{
+			{Type: router + ".netShard", Field: "ring"},
+			{Type: router + ".netShard", Field: "outbox"},
+			{Type: router + ".netShard", Field: "delivered"},
+			{Type: router + ".netShard", Field: "notified"},
+			{Type: router + ".netShard", Field: "pendingKills"},
+			{Type: router + ".netShard", Field: "allocList"},
+			{Type: router + ".Network", Field: "freePkts"},
+			{Type: router + ".Network", Field: "notifyScratch"},
+			{Type: router + ".Router", Field: "reqPorts"},
+			{Type: router + ".Router", Field: "stagedPorts"},
+			{Type: router + ".Router", Field: "dirtyOut"},
+			{Type: router + ".activeSet", Field: "ids"},
+			{Type: router + ".fifo", Field: "buf"},
+			{Type: core + ".GroupDirty", Field: "lanes"},
+			{Type: core + ".GroupDirty", Field: "drain"},
+			{Type: traffic + ".retransmitter", Field: "heap"},
+			{Type: traffic + ".calendar", Field: "heap"},
+		},
 	}
 }
 
-// Run loads the packages matched by patterns under dir and applies every
-// analyzer to the deterministic packages, returning the findings sorted
-// by position.
+// Run loads the packages matched by patterns under dir and applies the
+// full suite — the per-package analyzers to each deterministic package
+// and the whole-program analyzers to the cross-package call graph —
+// returning the findings sorted by position. Packages are loaded and
+// type-checked exactly once, shared by all analyzers; the Program is
+// built once and shared by all program analyzers.
 func Run(dir string, cfg *Config, patterns ...string) ([]Diagnostic, error) {
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
@@ -262,6 +435,8 @@ func Run(dir string, cfg *Config, patterns ...string) ([]Diagnostic, error) {
 		}
 		diags = append(diags, RunAnalyzers(pkg, cfg, Analyzers)...)
 	}
+	prog := NewProgram(pkgs, cfg)
+	diags = append(diags, RunProgramAnalyzers(prog, cfg, ProgramAnalyzers)...)
 	sortDiagnostics(diags)
 	return diags, nil
 }

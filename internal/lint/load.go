@@ -50,9 +50,9 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	// annotations maps file → source line → the //lint:ordered
-	// annotation found there (see annotations.go).
-	annotations map[*ast.File]map[int]*Annotation
+	// annotations maps file → source line → the //lint:<directive>
+	// annotations found there (see annotations.go).
+	annotations map[*ast.File]map[int][]*Annotation
 }
 
 // listedPackage is the subset of `go list -json` output the loader uses.

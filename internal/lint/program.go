@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+)
+
+// The whole-program layer. The per-package analyzers (lint.go) see one
+// package at a time; the two dataflow analyzers added in detlint v2
+// (shardisolation, allocfree) reason about reachability from the
+// parallel roots and the hot-path roots across package boundaries —
+// routing-algorithm hooks in cbar/internal/routing run inside
+// cbar/internal/router's phase graphs, and core's counters are mutated
+// from both. Program is the shared substrate: every module package of
+// one Load, a funcKey-indexed declaration table, and the call graph over
+// it. It is built once per detlint invocation and shared by every
+// program analyzer, so the load/type-check cost is paid once.
+
+// ProgramAnalyzer is one named check over a whole Program.
+type ProgramAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ProgramPass)
+}
+
+// ProgramAnalyzers is the whole-program half of the detlint suite.
+var ProgramAnalyzers = []*ProgramAnalyzer{
+	ShardIsolation,
+	AllocFree,
+}
+
+// ProgramPass carries one program analyzer run.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Cfg      *Config
+	Prog     *Program
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos. All packages of one Load share one
+// FileSet, so any position from any package resolves.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FuncInfo is one analyzable function body: a declared function or
+// method, or a function literal registered as a parallel callback (an
+// argument to a CallbackRegistrars function — it will be invoked from
+// inside a parallel section, so it is analyzed as a root of its own,
+// with every captured variable treated as non-local).
+type FuncInfo struct {
+	// Key is the funcKey of the declaration; callback literals get a
+	// synthetic "<enclosing>$cbN" key.
+	Key  string
+	Pkg  *Package
+	File *ast.File
+	Decl *ast.FuncDecl // nil for callback literals
+	Lit  *ast.FuncLit  // non-nil for callback literals
+}
+
+// Body returns the function's statement block.
+func (fi *FuncInfo) Body() *ast.BlockStmt {
+	if fi.Decl != nil {
+		return fi.Decl.Body
+	}
+	return fi.Lit.Body
+}
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Callee string
+	Pos    token.Pos
+}
+
+// Program is the cross-package view shared by the program analyzers.
+type Program struct {
+	Fset *token.FileSet
+	Cfg  *Config
+	Pkgs []*Package
+
+	// Funcs maps funcKey → declaration info for every function declared
+	// in a loaded module package (test files excluded: tests run at
+	// sequential points and poke state by design).
+	Funcs map[string]*FuncInfo
+
+	// Calls is the call graph: caller funcKey → resolved call sites.
+	// Calls inside function literals attribute to the enclosing
+	// declaration (a closure a function builds is work that function
+	// causes), except callback literals, which own their edges under
+	// their synthetic key.
+	Calls map[string][]CallEdge
+
+	// callbackRoots lists the synthetic keys of function literals passed
+	// to CallbackRegistrars functions, in source order.
+	callbackRoots []string
+}
+
+// NewProgram indexes the packages of one Load and builds the call graph.
+func NewProgram(pkgs []*Package, cfg *Config) *Program {
+	prog := &Program{
+		Cfg:   cfg,
+		Pkgs:  pkgs,
+		Funcs: make(map[string]*FuncInfo),
+		Calls: make(map[string][]CallEdge),
+	}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+	}
+	registrar := make(map[string]bool, len(cfg.CallbackRegistrars))
+	for _, r := range cfg.CallbackRegistrars {
+		registrar[r] = true
+	}
+	for _, pkg := range pkgs {
+		for i, f := range pkg.Syntax {
+			if pkg.TestFile[i] {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := declKey(pkg.Info, fd)
+				if _, dup := prog.Funcs[key]; !dup {
+					prog.Funcs[key] = &FuncInfo{Key: key, Pkg: pkg, File: f, Decl: fd}
+				}
+				prog.indexBody(pkg, f, key, fd.Body, registrar)
+			}
+		}
+	}
+	return prog
+}
+
+// indexBody records the call edges of one function body under owner,
+// splitting off callback literals as roots of their own.
+func (p *Program) indexBody(pkg *Package, f *ast.File, owner string, body ast.Node, registrar map[string]bool) {
+	cb := 0
+	callbackLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && callbackLits[lit] {
+			return false // indexed separately below
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		key := funcKey(fn)
+		p.Calls[owner] = append(p.Calls[owner], CallEdge{Callee: key, Pos: call.Pos()})
+		if registrar[key] {
+			for _, arg := range call.Args {
+				lit, isLit := arg.(*ast.FuncLit)
+				if !isLit {
+					continue
+				}
+				litKey := owner + "$cb" + strconv.Itoa(cb)
+				cb++
+				callbackLits[lit] = true
+				p.Funcs[litKey] = &FuncInfo{Key: litKey, Pkg: pkg, File: f, Lit: lit}
+				p.callbackRoots = append(p.callbackRoots, litKey)
+				p.indexBody(pkg, f, litKey, lit.Body, registrar)
+			}
+		}
+		return true
+	})
+}
+
+// parallelRootKeys resolves the configured parallel roots over the whole
+// program: exact ParallelRoots keys, any declared method whose name is
+// in ParallelRootMethods (in a deterministic package), and the callback
+// literals registered through CallbackRegistrars.
+func (p *Program) parallelRootKeys() []string {
+	return p.rootKeys(p.Cfg.ParallelRoots, p.Cfg.ParallelRootMethods, true)
+}
+
+// hotRootKeys resolves the hot-path roots: exact HotPath keys plus any
+// declared method whose name is in HotPathMethods. Callback literals are
+// included too: occupancy watchers fire inside occDelta, on the hot
+// path.
+func (p *Program) hotRootKeys() []string {
+	return p.rootKeys(p.Cfg.HotPath, p.Cfg.HotPathMethods, true)
+}
+
+func (p *Program) rootKeys(exact, methods []string, callbacks bool) []string {
+	exactSet := make(map[string]bool, len(exact))
+	for _, r := range exact {
+		exactSet[r] = true
+	}
+	methodSet := make(map[string]bool, len(methods))
+	for _, m := range methods {
+		methodSet[m] = true
+	}
+	var roots []string
+	for key, fi := range p.Funcs {
+		if exactSet[key] {
+			roots = append(roots, key)
+			continue
+		}
+		if fi.Decl != nil && fi.Decl.Recv != nil && methodSet[fi.Decl.Name.Name] &&
+			p.Cfg.IsDeterministic(fi.Pkg.Path) {
+			roots = append(roots, key)
+		}
+	}
+	if callbacks {
+		roots = append(roots, p.callbackRoots...)
+	}
+	sort.Strings(roots)
+	return roots
+}
+
+// reachable BFS-walks the call graph from roots, stopping at the keys in
+// stop (reviewed cold or conduit boundaries). It returns, for every
+// reached function key, the root it was first reached from (roots map to
+// themselves) — the witness for diagnostics.
+func (p *Program) reachable(roots []string, stop map[string]bool) map[string]string {
+	via := make(map[string]string)
+	queue := make([]string, 0, len(roots))
+	for _, r := range roots {
+		if _, seen := via[r]; !seen && !stop[r] {
+			via[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		for _, e := range p.Calls[key] {
+			if _, seen := via[e.Callee]; seen || stop[e.Callee] {
+				continue
+			}
+			via[e.Callee] = via[key]
+			queue = append(queue, e.Callee)
+		}
+	}
+	return via
+}
+
+// sortedReached orders a reachability result for deterministic output.
+func sortedReached(via map[string]string) []string {
+	keys := make([]string, 0, len(via))
+	for k := range via {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RunProgramAnalyzers applies the given program analyzers to one
+// program.
+func RunProgramAnalyzers(prog *Program, cfg *Config, analyzers []*ProgramAnalyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &ProgramPass{Analyzer: a, Cfg: cfg, Prog: prog, diags: &diags}
+		a.Run(pass)
+	}
+	sortDiagnostics(diags)
+	return diags
+}

@@ -62,4 +62,58 @@ func TestDefaultConfigIsCoherent(t *testing.T) {
 			}
 		}
 	}
+
+	// The whole-program registries: every key must resolve inside a
+	// deterministic package, or its rule silently never fires.
+	keyed := map[string][]string{
+		"GlobalStateTypes":     cfg.GlobalStateTypes,
+		"ShardConduits":        cfg.ShardConduits,
+		"IndexPreservingFuncs": cfg.IndexPreservingFuncs,
+		"CallbackRegistrars":   cfg.CallbackRegistrars,
+		"HotPath":              cfg.HotPath,
+		"ColdPath":             cfg.ColdPath,
+	}
+	for reg, keys := range keyed {
+		if len(keys) == 0 {
+			t.Errorf("%s registry is empty", reg)
+		}
+		for _, k := range keys {
+			if !inDet(k) {
+				t.Errorf("%s entry %q is not in a deterministic package", reg, k)
+			}
+		}
+	}
+	fields := map[string][]FieldRef{
+		"ShardTables":      cfg.ShardTables,
+		"CrossShardFields": cfg.CrossShardFields,
+		"PooledSlices":     cfg.PooledSlices,
+	}
+	for reg, refs := range fields {
+		if len(refs) == 0 {
+			t.Errorf("%s registry is empty", reg)
+		}
+		for _, r := range refs {
+			if !inDet(r.Type) {
+				t.Errorf("%s entry %q is not in a deterministic package", reg, r.Type)
+			}
+			if r.Field == "" {
+				t.Errorf("%s entry %q has an empty field name", reg, r.Type)
+			}
+		}
+	}
+	// Root-method registries hold bare method names, matched per
+	// declaration: a fully-qualified key here would never match anything.
+	for reg, names := range map[string][]string{
+		"ParallelRootMethods": cfg.ParallelRootMethods,
+		"HotPathMethods":      cfg.HotPathMethods,
+	} {
+		for _, m := range names {
+			for i := 0; i < len(m); i++ {
+				if m[i] == '.' {
+					t.Errorf("%s entry %q must be a bare method name, not a qualified key", reg, m)
+					break
+				}
+			}
+		}
+	}
 }

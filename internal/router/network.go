@@ -273,6 +273,7 @@ func Build(cfg Config, alg Algorithm, seed uint64) (*Network, error) {
 				}
 				o.markTh = o.occCap * int32(cfg.Congestion.MarkPct) / 100
 				n.WatchOccupancy(r.ID, port, o.markTh, func(above bool) {
+					//lint:sharded occupancy watchers fire inside occDelta on the shard that owns the port's router
 					o.ecnHot = above
 				})
 			}
@@ -381,6 +382,7 @@ func (n *Network) inject(src, dst int, attempt int8) bool {
 		n.freePkts[k-1] = nil
 		n.freePkts = n.freePkts[:k-1]
 	} else {
+		//lint:alloc freelist miss: warm-up only; steady state recycles retired packets
 		p = new(Packet)
 	}
 	*p = Packet{

@@ -89,6 +89,7 @@ func (q *vcQueue) push(p *Packet) {
 		panic("router: input VC overflow; upstream credit accounting is broken")
 	}
 	if q.n == len(q.pkts) {
+		//lint:alloc amortized ring doubling; capacity persists, so steady state stops growing
 		grown := make([]*Packet, 2*len(q.pkts))
 		for i := 0; i < q.n; i++ {
 			grown[i] = q.pkts[(q.head+i)%len(q.pkts)]

@@ -81,6 +81,7 @@ func contentionRoute(r *router.Router, p *router.Packet, th int32) router.Reques
 // contentionAlternative picks a nonminimal port with contention under th,
 // honoring the misrouting policy.
 func contentionAlternative(r *router.Router, p *router.Packet, min int, th int32) (int, bool) {
+	//lint:alloc non-escaping predicate: the pick helpers only invoke it, so it stays on the stack
 	calm := func(out int) bool { return r.Contention.Get(out) < th }
 	if canGlobalMisroute(r, p) {
 		if out, ok := pickGlobal(r, min, calm); ok {

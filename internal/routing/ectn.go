@@ -44,8 +44,9 @@ type ectnAlg struct {
 	period     int64
 	ectn       [][]*core.ECtN // per group, per member router
 	// dirty is the set of groups whose partial arrays changed since
-	// their last combine; scratch is the allocation-free sum buffer.
-	// Both are nil in the fullCombine reference mode.
+	// their last combine (nil in the fullCombine reference mode);
+	// scratch is the allocation-free sum buffer both modes combine
+	// into.
 	dirty   *core.GroupDirty
 	scratch []int32
 	// fullCombine selects the reference combine-every-group exchange
@@ -62,9 +63,9 @@ func (*ectnAlg) Name() string { return ECtN.String() }
 func (a *ectnAlg) Attach(n *router.Network) {
 	t := n.Topo
 	a.ectn = make([][]*core.ECtN, t.Groups)
+	a.scratch = make([]int32, t.GlobalLinks)
 	if !a.fullCombine {
 		a.dirty = core.NewGroupDirty(t.Groups)
-		a.scratch = make([]int32, t.GlobalLinks)
 		if n.Workers() > 1 {
 			// Under shard-parallel stepping the partial-counter hooks
 			// run on each group's owning shard worker; per-shard mark
@@ -96,10 +97,11 @@ func (a *ectnAlg) BeginCycle(n *router.Network) {
 	}
 	if a.fullCombine {
 		for _, group := range a.ectn {
-			core.CombineGroup(group)
+			core.CombineGroupInto(a.scratch, group)
 		}
 		return
 	}
+	//lint:alloc non-escaping visitor: Drain only invokes it, so it stays on the stack
 	a.dirty.Drain(func(g int32) {
 		core.CombineGroupInto(a.scratch, a.ectn[g])
 	})
@@ -164,6 +166,7 @@ func (a *ectnAlg) Route(r *router.Router, p *router.Packet, port, vc int) router
 	if t.IsInjectionPort(port) && canGlobalMisroute(r, p) {
 		if l, ok := minGlobalLinkIndex(t, r, p); ok && r.Ectn.CombinedExceeds(l, a.thCombined) {
 			pos := t.PosOf(r.ID)
+			//lint:alloc non-escaping predicate: the pick helpers only invoke it, so it stays on the stack
 			calm := func(out int) bool {
 				k := t.GlobalOrdinal(out)
 				return r.Ectn.Combined(t.GlobalLinkIndex(pos, k)) < a.thCombined

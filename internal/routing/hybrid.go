@@ -52,6 +52,7 @@ func (a *hybridAlg) Route(r *router.Router, p *router.Packet, port, vc int) rout
 	qMin := int64(r.Occupancy(min))
 	if qMin > int64(r.Net().Cfg.PacketSize) {
 		capMin := int64(r.OccupancyCap(min))
+		//lint:alloc non-escaping predicate: the pick helpers only invoke it, so it stays on the stack
 		cheaper := func(out int) bool {
 			q := int64(r.Occupancy(out))
 			return q*capMin*100 < a.relPct*qMin*int64(r.OccupancyCap(out))

@@ -48,6 +48,7 @@ func (a *olmAlg) Route(r *router.Router, p *router.Packet, port, vc int) router.
 		// comparing raw phit counts would stop all misrouting once
 		// the deep global buffers carry a moderate load.
 		capMin := int64(r.OccupancyCap(min))
+		//lint:alloc non-escaping predicate: the pick helpers only invoke it, so it stays on the stack
 		cheaper := func(out int) bool {
 			q := int64(r.Occupancy(out))
 			return q*capMin*100 < a.relPct*qMin*int64(r.OccupancyCap(out))

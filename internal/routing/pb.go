@@ -83,6 +83,7 @@ func (a *pbAlg) Attach(n *router.Network) {
 		for pos, r := range n.Group(g) {
 			for k := 0; k < t.H; k++ {
 				l := pos*t.H + k
+				//lint:sharded sat[g] is group g's own lane and a group's routers never span shards; the watcher fires on their shard
 				n.WatchOccupancy(r.ID, first+k, a.satPhits, func(above bool) { flags[l] = above })
 			}
 		}
