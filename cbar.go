@@ -75,6 +75,8 @@ func (a Algorithm) internal() (routing.Algo, error) {
 	return 0, fmt.Errorf("cbar: unknown algorithm %d", int(a))
 }
 
+// String returns the mechanism's canonical name ("MIN", "PB", "Base",
+// ...), as ParseAlgorithm accepts and result CSVs print.
 func (a Algorithm) String() string {
 	in, err := a.internal()
 	if err != nil {
@@ -135,6 +137,8 @@ func (s Scale) internal() sim.Scale {
 	}
 }
 
+// String returns the scale's canonical name ("tiny", "small",
+// "paper"), as ParseScale accepts.
 func (s Scale) String() string { return s.internal().String() }
 
 // ParseScale resolves "tiny", "small" or "paper".
@@ -188,27 +192,27 @@ type Config struct {
 
 	// Micro-architecture (Table I defaults via NewConfig).
 	PacketSize      int // phits per packet
-	VCsInjection    int
-	VCsLocal        int // VAL and PB are raised to 4 automatically
-	VCsGlobal       int
-	BufInjection    int // phits per VC
-	BufLocal        int
-	BufGlobal       int
-	BufOut          int
-	LatencyLocal    int // cycles
-	LatencyGlobal   int
-	PipelineLatency int
-	Speedup         int
-	NICQueuePackets int
+	VCsInjection    int // virtual channels on the injection channel
+	VCsLocal        int // VCs on local channels (VAL and PB are raised to 4 automatically)
+	VCsGlobal       int // VCs on global channels
+	BufInjection    int // injection buffer, phits per VC
+	BufLocal        int // local-channel input buffer, phits per VC
+	BufGlobal       int // global-channel input buffer, phits per VC
+	BufOut          int // output buffer, phits per port
+	LatencyLocal    int // local-link latency, cycles
+	LatencyGlobal   int // global-link latency, cycles
+	PipelineLatency int // router pipeline latency, cycles
+	Speedup         int // internal router speedup (allocation passes per cycle)
+	NICQueuePackets int // NIC source-queue capacity, packets
 
 	// Policy thresholds (§VI-A-scaled defaults via NewConfig).
-	BaseTh       int
-	HybridTh     int
-	CombinedTh   int
-	OLMRelPct    int
-	HybridRelPct int
-	PBSatPackets int
-	ECtNPeriod   int64
+	BaseTh       int   // Base contention-counter misroute threshold
+	HybridTh     int   // Hybrid contention threshold (counters consulted past it)
+	CombinedTh   int   // ECtN combined local+remote counter threshold
+	OLMRelPct    int   // OLM relative credit comparison margin, percent
+	HybridRelPct int   // Hybrid relative credit comparison margin, percent
+	PBSatPackets int   // PB saturation-flag queue threshold, packets
+	ECtNPeriod   int64 // ECtN group combine/broadcast period, cycles
 }
 
 // NewConfig returns the fully populated Table I configuration for the

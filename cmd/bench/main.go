@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -113,6 +114,33 @@ func stepBenchWorkload(s sim.Scale, algo routing.Algo, w sim.Workload, load floa
 		// A long measured run generating nothing means the injector is
 		// broken and the numbers would record an empty network.
 		if b.N > 1000 && net.NumGenerated == gen0 {
+			b.Fatal("no traffic generated during measurement")
+		}
+	}
+}
+
+// stepBenchElideIdle measures the quiet-cycle elision path: one op
+// advances sim.ElideIdleSpan cycles of a deep-idle network through
+// sim.Advance, which jumps the clock between events instead of
+// stepping every cycle. The entry's cycles/sec is span-normalized, so
+// it compares directly against the per-cycle Idle entries — the
+// acceptance bar of the elision change is >= 10x their cycles/sec.
+func stepBenchElideIdle(s sim.Scale) func(b *testing.B) {
+	return func(b *testing.B) {
+		net, inj, err := sim.NewStepBench(s, routing.Base, sim.ElideIdleLoad, false, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.ElideIdleWarm(net, inj); err != nil {
+			b.Fatal(err)
+		}
+		gen0 := net.NumGenerated
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.Advance(net, inj, sim.ElideIdleSpan)
+		}
+		if b.N > 100 && net.NumGenerated == gen0 {
 			b.Fatal("no traffic generated during measurement")
 		}
 	}
@@ -207,10 +235,12 @@ func allocAllowance(base int64) int64 {
 
 // compareBaseline diffs the fresh measurements against a committed
 // baseline report and returns the process exit code. Allocs/op growth
-// always fails; ns/op regressions fail unless nsWarnOnly, which turns
-// them into GitHub warning annotations (shared CI runners make wall
-// time noisy, while allocation counts stay deterministic). Benchmarks
-// present on only one side are reported and skipped.
+// fails (except on the amortized ElideIdle span benchmarks, where it
+// only annotates — see the inline comment); ns/op regressions fail
+// unless nsWarnOnly, which turns them into GitHub warning annotations
+// (shared CI runners make wall time noisy, while allocation counts stay
+// deterministic). Benchmarks present on only one side are reported and
+// skipped.
 func compareBaseline(path string, fresh Report, nsWarnOnly bool) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -243,10 +273,21 @@ func compareBaseline(path string, fresh Report, nsWarnOnly bool) int {
 		delete(baseline, cur.Name)
 		status := "ok"
 		if allowed := allocAllowance(b.AllocsPerOp); cur.AllocsPerOp > allowed {
-			status = "FAIL"
-			fail = true
-			fmt.Printf("::error title=allocs/op regression::%s allocs/op %d > baseline %d (allowed %d)\n",
-				cur.Name, cur.AllocsPerOp, b.AllocsPerOp, allowed)
+			// The ElideIdle spans inject Poisson-random arrivals whose
+			// delivery paths lazily first-touch output-port FIFOs, so
+			// their amortized allocs/op depends on b.N and the draw —
+			// not a deterministic count like the fixed per-cycle
+			// benchmarks. Annotate instead of failing.
+			if strings.HasSuffix(cur.Name, "ElideIdle") {
+				fmt.Printf("::warning title=allocs/op above baseline (amortized span benchmark)::%s allocs/op %d > baseline %d (allowed %d)\n",
+					cur.Name, cur.AllocsPerOp, b.AllocsPerOp, allowed)
+				status = "warn"
+			} else {
+				status = "FAIL"
+				fail = true
+				fmt.Printf("::error title=allocs/op regression::%s allocs/op %d > baseline %d (allowed %d)\n",
+					cur.Name, cur.AllocsPerOp, b.AllocsPerOp, allowed)
+			}
 		}
 		ratio := 0.0
 		if b.NsPerOp > 0 {
@@ -350,6 +391,12 @@ func main() {
 		// The PB/ECtN idle benchmarks track the event-driven algorithm
 		// layer; the RefScan variants pin the retained full-recompute
 		// reference (the original polled implementation) beside them.
+		// The ElideIdle entries measure the quiet-cycle elision path: one
+		// op is a whole ElideIdleSpan-cycle span at deep-idle load, with
+		// the clock jumping between events. Their span-normalized
+		// cycles/sec sits beside the per-cycle Idle entries above.
+		{"StepSmallElideIdle", 0, stepBenchElideIdle(sim.Small)},
+		{"StepPaperElideIdle", 0, stepBenchElideIdle(sim.Paper)},
 		{"StepSmallPBIdle", 0, stepBench(sim.Small, routing.PB, 0.01, false, false)},
 		{"StepSmallPBRefScanIdle", 0, stepBench(sim.Small, routing.PB, 0.01, false, true)},
 		{"StepSmallECtNIdle", 0, stepBench(sim.Small, routing.ECtN, 0.01, false, false)},
@@ -399,9 +446,15 @@ func main() {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Workers:     workers,
 		}
-		if s.name == "StepSmallBurstDrain" {
+		switch s.name {
+		case "StepSmallBurstDrain":
 			res.CyclesPerOp = burstCycles
-		} else {
+		case "StepSmallElideIdle", "StepPaperElideIdle":
+			res.CyclesPerOp = sim.ElideIdleSpan
+			if res.NsPerOp > 0 {
+				res.CyclesPerSec = sim.ElideIdleSpan * 1e9 / res.NsPerOp
+			}
+		default:
 			res.CyclesPerOp = 1
 			if res.NsPerOp > 0 {
 				res.CyclesPerSec = 1e9 / res.NsPerOp

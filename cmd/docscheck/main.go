@@ -1,0 +1,237 @@
+// docscheck gates the documentation surface. It fails (exit 1) when
+//
+//   - an exported identifier of the public cbar package — top-level
+//     type, function, method, const, var, exported struct field or
+//     interface method — has no doc comment, or
+//   - a CLI flag registered in any cmd/*/main.go does not appear
+//     (backtick-quoted, as `-name`) in README.md.
+//
+// Run from the repository root as `go run ./cmd/docscheck`; -root
+// points it elsewhere. It is a hard CI gate: documentation drift is a
+// build break, like a detlint finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root (the public package's directory)")
+	flag.Parse()
+
+	var findings []string
+	findings = append(findings, checkPackageDocs(*root)...)
+	findings = append(findings, checkREADMEFlags(*root)...)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// checkPackageDocs parses the public package in root (non-test files
+// only) and reports every exported identifier without a doc comment. A
+// grouped const/var spec is covered by its block comment; a struct
+// field or interface method accepts a trailing line comment.
+func checkPackageDocs(root string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, root, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: parsing %s: %v", root, err)}
+	}
+
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && exportedRecv(d) && d.Doc == nil {
+						report(d.Pos(), funcKind(d), funcName(d))
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exportedRecv reports whether a function is free-standing or a method
+// on an exported receiver type; methods on unexported types are not
+// part of the documented surface.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	return ast.IsExported(recvTypeName(d.Recv.List[0].Type))
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		return recvTypeName(d.Recv.List[0].Type) + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+			switch t := s.Type.(type) {
+			case *ast.StructType:
+				checkFieldList(s.Name.Name, "field", t.Fields, report)
+			case *ast.InterfaceType:
+				checkFieldList(s.Name.Name, "interface method", t.Methods, report)
+			}
+		case *ast.ValueSpec:
+			// A doc comment on the const/var block covers the whole
+			// group (the idiomatic enum shape); otherwise each exported
+			// name needs its own.
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			kind := "var"
+			if d.Tok == token.CONST {
+				kind = "const"
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+func checkFieldList(owner, kind string, fields *ast.FieldList, report func(token.Pos, string, string)) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.IsExported() {
+				report(name.Pos(), kind, owner+"."+name.Name)
+			}
+		}
+	}
+}
+
+// checkREADMEFlags collects every flag name registered in cmd/*/main.go
+// and reports the ones README.md does not mention as `-name`.
+func checkREADMEFlags(root string) []string {
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: %v", err)}
+	}
+	mains, err := filepath.Glob(filepath.Join(root, "cmd", "*", "main.go"))
+	if err != nil || len(mains) == 0 {
+		return []string{fmt.Sprintf("docscheck: no cmd/*/main.go found under %s", root)}
+	}
+	sort.Strings(mains)
+
+	var out []string
+	for _, path := range mains {
+		if filepath.Base(filepath.Dir(path)) == "docscheck" {
+			continue // checks itself otherwise; its flags are not user surface
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			out = append(out, fmt.Sprintf("docscheck: parsing %s: %v", path, err))
+			continue
+		}
+		for _, name := range flagNames(file) {
+			if !strings.Contains(string(readme), "`-"+name+"`") {
+				out = append(out, fmt.Sprintf("%s: flag -%s is not documented in README.md (expected `-%s`)", path, name, name))
+			}
+		}
+	}
+	return out
+}
+
+// flagNames returns the names registered through the flag package in
+// one file: the first string argument of flag.Bool/Int/String/... and
+// the second of the *Var forms.
+func flagNames(file *ast.File) []string {
+	var names []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok || recv.Name != "flag" {
+			return true
+		}
+		arg := -1
+		switch sel.Sel.Name {
+		case "Bool", "Int", "Int64", "Uint", "Uint64", "String", "Float64", "Duration", "Func", "TextVar":
+			arg = 0
+		case "BoolVar", "IntVar", "Int64Var", "UintVar", "Uint64Var", "StringVar", "Float64Var", "DurationVar", "Var":
+			arg = 1
+		}
+		if arg < 0 || len(call.Args) <= arg {
+			return true
+		}
+		if lit, ok := call.Args[arg].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if name, err := strconv.Unquote(lit.Value); err == nil {
+				names = append(names, name)
+			}
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

@@ -9,8 +9,8 @@
 //	figures -fig all -scale paper -out data # the full Table I system
 //
 // Absolute numbers depend on scale; the shape of each figure (who wins,
-// by how much, where crossovers sit) is the reproduction target — see
-// EXPERIMENTS.md.
+// by how much, where crossovers sit) is the reproduction target —
+// ExperimentTitle describes each id, and README.md walks the set.
 package main
 
 import (

@@ -21,11 +21,13 @@
 //	fmt.Printf("latency %.1f cycles, throughput %.3f phits/node/cycle\n",
 //		res.AvgLatency, res.Accepted)
 //
-// Three experiment shapes cover the paper's evaluation: RunSteady
-// (latency/throughput at one offered load), Sweep (a load grid in
-// parallel) and RunTransient (traced response to a traffic-pattern
-// switch). RunExperiment regenerates any of the paper's tables and
-// figures by ID; see EXPERIMENTS.md for paper-versus-measured results.
+// Three experiment shapes cover the paper's evaluation: [RunSteady]
+// (latency/throughput at one offered load), [Sweep] (a load grid in
+// parallel) and [RunTransient] (traced response to a traffic-pattern
+// switch). [RunExperiment] regenerates any of the paper's tables and
+// figures by ID ([ExperimentIDs] enumerates them; cmd/figures is the
+// CLI front end). README.md collects the CLI surface and the
+// workload/congestion/fault spec grammars in one place.
 //
 // All simulations are deterministic for a fixed configuration and seed;
 // repeated seeds run on all available cores. A sweep flattens its whole
@@ -37,7 +39,7 @@
 // # Measurement methodology
 //
 // Steady-state measurement has two modes. The default fixed mode is
-// the paper's §IV methodology: simulate SteadyOptions.Warmup cycles
+// the paper's §IV methodology: simulate [SteadyOptions].Warmup cycles
 // unmeasured, record deliveries for Measure cycles, repeat over Seeds
 // seeds (15000-cycle windows and 10 seeds at Paper scale). It is
 // deterministic and bit-identical across releases — the golden CSVs
@@ -45,7 +47,7 @@
 // whether a point converged in a fifth of the window or will never
 // converge at all.
 //
-// Adaptive mode (SteadyOptions.Adaptive, cmd/sweep and cmd/figures
+// Adaptive mode ([SteadyOptions].Adaptive, cmd/sweep and cmd/figures
 // -adaptive) spends cycles only where the statistics demand them:
 //
 //   - Warmup truncation: the run streams per-bucket mean delivery
@@ -65,7 +67,7 @@
 //     the backlog trend and the blocked-injection fraction over a
 //     trailing window and bails out early, flagging the result.
 //
-// SteadyResult reports what was spent and decided: CIHalfLatency and
+// [SteadyResult] reports what was spent and decided: CIHalfLatency and
 // CIHalfAccepted (95% half-widths), MeasuredCycles (total measured
 // cycles across seeds), WarmupCycles (mean truncated warmup),
 // Saturated and Converged. cmd/sweep -adaptive appends them as CSV
@@ -77,13 +79,13 @@
 //
 // # Workload catalog
 //
-// A Traffic value combines a destination pattern with an arrival
+// A [Traffic] value combines a destination pattern with an arrival
 // process. The paper's §IV-B patterns:
 //
-//   - Uniform (UN): every packet targets a uniformly random other node.
-//   - Adversarial(i) (ADV+i): every node targets a random node in the
+//   - [Uniform] (UN): every packet targets a uniformly random other node.
+//   - [Adversarial](i) (ADV+i): every node targets a random node in the
 //     group i positions away, saturating one global link per group.
-//   - Mixed(f, i): per-packet blend of UN and ADV+i (Figure 6).
+//   - [Mixed](f, i): per-packet blend of UN and ADV+i (Figure 6).
 //
 // The workload-engine patterns, modeling the regimes the congestion
 // management literature evaluates adaptive routing under (hotspot and
@@ -111,9 +113,10 @@
 //   - WithSkew(frac, share): heterogeneous per-node loads; frac of the
 //     nodes carry share of the aggregate traffic.
 //
-// ParseTraffic accepts the same catalog as strings ("hotspot:0.2,8",
+// [ParseTraffic] accepts the same catalog as strings ("hotspot:0.2,8",
 // "perm:shift+16", "tornado", "burst:50,200", "adv+1+burst:50,200,0.8",
-// "un+skew:0.1,0.5"), which cmd/sweep exposes via -traffic.
+// "un+skew:0.1,0.5"), which cmd/sweep exposes via -traffic; README.md
+// tabulates the full grammar.
 //
 // Stateful sources keep their next injection time on a calendar (a
 // min-heap over nodes), so the per-cycle injection cost stays
@@ -123,8 +126,8 @@
 //
 // # Congestion management
 //
-// Config.Congestion (cmd/sweep, cmd/figures and cmd/dfsim -congestion,
-// specs parsed by ParseCongestion) enables a closed-loop
+// [Config].Congestion (cmd/sweep, cmd/figures and cmd/dfsim -congestion,
+// specs parsed by [ParseCongestion]) enables a closed-loop
 // congestion-control layer modeled on the ECN-style notification
 // schemes of the congestion-management literature (Rocher-Gonzalez et
 // al.). Four mechanisms compose:
@@ -160,8 +163,8 @@
 //
 // # Fault model
 //
-// Config.Faults (cmd/sweep, cmd/figures and cmd/dfsim -faults, specs
-// parsed by ParseFaults) schedules a deterministic plan of fabric
+// [Config].Faults (cmd/sweep, cmd/figures and cmd/dfsim -faults, specs
+// parsed by [ParseFaults]) schedules a deterministic plan of fabric
 // faults: explicit LinkDown/LinkUp and RouterDown/RouterUp events at
 // fixed cycles, plus a random clause failing a percentage of the global
 // cables at one cycle (expanded from its own seed at build time, so the
@@ -242,6 +245,54 @@
 // wall-clock time and nothing else. Sweeps split GOMAXPROCS
 // automatically: wide load×seed grids parallelize across runs, narrow
 // (paper-scale) grids shard inside each run.
+//
+// # Quiet-cycle elision
+//
+// Idle time costs events, not cycles. When a cycle is provably quiet —
+// no fault event pending and, on every shard, empty event rings and
+// empty active sets — nothing in the fabric can change until the next
+// scheduled event, so the runner jumps the clock straight to it instead
+// of stepping through the gap. The jump target is the minimum of the
+// next event-ring occupancy, the next calendar injection, the next
+// retransmit due-time, the next ECtN combine tick, the next fault
+// event, and the measurement boundary that called for the advance
+// (warmup end, adaptive bucket end, transient trace edge), so every
+// measurement series keeps its exact geometry.
+//
+// Elision is an optimization, never a semantic: an elided span consumes
+// exactly the PRNG draws that stepping it would have, so results are
+// bit-identical with elision on or off, at every worker count
+// (TestElisionEquivalence and the golden CSVs pin it). For Bernoulli
+// sources that means the skip-sampling geometric draw for a span is
+// taken once, up front, and replayed when the clock reaches it; for
+// calendar sources the next injection is a heap peek. Deep-idle regimes
+// run at O(events) — the StepSmallElideIdle/StepPaperElideIdle entries
+// in BENCH_step.json pin the win beside the per-cycle idle entries.
+//
+// New implementations join by answering two horizon queries:
+//
+//   - A routing algorithm with periodic or scheduled work implements
+//     the optional CycleHorizon interface (internal/router):
+//     NextAlgCycle(n) returns the next cycle at which the algorithm
+//     must observe the network, or NoPendingCycle if it is purely
+//     reactive (driven entirely by packet events, like the contention
+//     counters), or ok=false to veto elision outright (the
+//     reference-scan debug modes do this, since they recompute state
+//     every cycle by design). Returning a cycle earlier than necessary
+//     is always safe; returning one later than the algorithm's next
+//     observable action breaks bit-identity.
+//   - A traffic source must answer Injector.NextArrival(limit): the
+//     cycle of the first arrival at or before limit, or limit+1 if
+//     there is none — and, critically, it must consume exactly the
+//     random draws that per-cycle generation over the certified-empty
+//     span would have consumed, so that stepping and jumping leave the
+//     source streams in identical states.
+//
+// Network.ElideHorizon(target) composes the queries and the quiet
+// check; Network.ElideTo(cycle) performs the jump. The horizon is
+// conservative by construction: any doubt (non-quiet shard, vetoing
+// algorithm, pending fault) falls back to plain stepping, which is
+// always correct.
 //
 // # Determinism contracts
 //

@@ -71,3 +71,55 @@ func ExampleRunExperiment() {
 		log.Fatal(err)
 	}
 }
+
+// ExampleParseCongestion resolves a congestion-management spec string —
+// the same grammar cmd/sweep, cmd/figures and cmd/dfsim accept via
+// -congestion. Unset keys keep their zero value and take the documented
+// defaults when the network is built.
+func ExampleParseCongestion() {
+	g, err := cbar.ParseCongestion("on:mark=80,shed=8,min=20")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enabled=%v mark=%d%% shed=%d min=%d%% dec=%d (default at build)\n",
+		g.Enabled, g.MarkPct, g.ShedCap, g.MinRatePct, g.DecreasePct)
+	// Output: enabled=true mark=80% shed=8 min=20% dec=0 (default at build)
+}
+
+// ExampleParseFaults resolves a fault-plan spec string — clauses
+// composed with '+' — and shows that Faults.String renders the plan
+// back in the same canonical syntax.
+func ExampleParseFaults() {
+	f, err := cbar.ParseFaults("linkdown:12,5@1000+random:5%@2000,42+retry:3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("events=%d retry=%d enabled=%v\n", len(f.Events), f.RetryLimit, f.Enabled())
+	fmt.Println(f.String())
+	// Output:
+	// events=1 retry=3 enabled=true
+	// linkdown:12,5@1000+random:5%@2000,42+retry:3
+}
+
+// ExampleConfig_workers pins the public parallelism contract: the same
+// simulation stepped by one worker and by several shard workers is
+// bit-identical — Config.Workers changes wall-clock time and nothing
+// else.
+func ExampleConfig_workers() {
+	opt := cbar.SteadyOptions{Warmup: 600, Measure: 600, Seeds: 1}
+	var results []cbar.SteadyResult
+	for _, workers := range []int{1, 3} {
+		cfg := cbar.NewConfig(cbar.Tiny, cbar.Base)
+		cfg.Workers = workers
+		res, err := cbar.RunSteady(cfg, cbar.Uniform(), 0.2, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	fmt.Printf("identical across worker counts: %v\n",
+		results[0].AvgLatency == results[1].AvgLatency &&
+			results[0].Accepted == results[1].Accepted &&
+			results[0].P99 == results[1].P99)
+	// Output: identical across worker counts: true
+}

@@ -20,14 +20,15 @@ func main() {
 	fmt.Printf("network: %d groups, %d routers, %d nodes; routing %s (th=%d)\n",
 		cfg.Groups(), cfg.Routers(), cfg.Nodes(), cfg.Algorithm, cfg.BaseTh)
 
+	// Zero-valued options take the scale's validated measurement budget
+	// (for Tiny: 1200-cycle warmup and measurement windows, 3 seeds);
+	// any explicit field overrides just that knob.
+	opt := cbar.SteadyOptions{}
+
 	fmt.Println("\nuniform traffic, offered load sweep:")
 	fmt.Println("load   latency(cyc)  p99   accepted  misrouted")
 	for _, load := range []float64{0.1, 0.3, 0.5, 0.7} {
-		res, err := cbar.RunSteady(cfg, cbar.Uniform(), load, cbar.SteadyOptions{
-			Warmup:  1000,
-			Measure: 1000,
-			Seeds:   2,
-		})
+		res, err := cbar.RunSteady(cfg, cbar.Uniform(), load, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -38,11 +39,7 @@ func main() {
 	fmt.Println("\nthe same sweep under adversarial ADV+1 traffic:")
 	fmt.Println("load   latency(cyc)  p99   accepted  misrouted")
 	for _, load := range []float64{0.05, 0.1, 0.2} {
-		res, err := cbar.RunSteady(cfg, cbar.Adversarial(1), load, cbar.SteadyOptions{
-			Warmup:  1000,
-			Measure: 1000,
-			Seeds:   2,
-		})
+		res, err := cbar.RunSteady(cfg, cbar.Adversarial(1), load, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

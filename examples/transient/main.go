@@ -22,7 +22,10 @@ func main() {
 	flag.Parse()
 
 	algos := []cbar.Algorithm{cbar.OLM, cbar.Base, cbar.ECtN}
-	opt := cbar.TransientOptions{Warmup: 1200, Pre: 100, Post: 600, Bucket: 25, Seeds: 2}
+	// Zero-valued options take the scale's validated transient budget
+	// (for Tiny: 1200-cycle warmup, a 100/600-cycle trace window around
+	// the switch, 20-cycle buckets, 3 seeds).
+	opt := cbar.TransientOptions{}
 
 	fmt.Printf("traffic switches UN -> ADV+1 at t=0, load %.2f\n", *load)
 	fmt.Printf("%% of delivered packets that were globally misrouted:\n\n")
@@ -58,11 +61,4 @@ func main() {
 	fmt.Println("\nExpected shape (paper Fig. 7b): Base and ECtN jump toward 100%")
 	fmt.Println("within tens of cycles of the first adversarial deliveries, while")
 	fmt.Println("credit-based OLM climbs slowly as queues fill.")
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -27,6 +27,8 @@ const (
 	RouterUp
 )
 
+// String returns the kind's spec-clause name ("linkdown", "routerup",
+// ...), as ParseFaults accepts.
 func (k FaultKind) String() string {
 	switch k {
 	case LinkDown:
@@ -47,12 +49,15 @@ func (k FaultKind) String() string {
 // fault state — and every downstream effect — is bit-identical at every
 // worker count.
 type FaultEvent struct {
-	Kind   FaultKind
+	// Kind selects what fails or recovers.
+	Kind FaultKind
+	// Router is the affected router id.
 	Router int
 	// Port is the router-side output port of a link event (ignored for
 	// router events). Ports order injection, then local, then global
 	// channels; only local/global ports can fail individually.
-	Port  int
+	Port int
+	// Cycle is when the event applies (at the cycle's sequential point).
 	Cycle int64
 }
 
@@ -69,15 +74,18 @@ type Faults struct {
 	// the topology's global cables (at least one) at cycle RandomAt,
 	// drawn from RandomSeed. The expansion is deterministic: same
 	// topology, same seed, same cables.
-	RandomPct  float64
-	RandomAt   int64
+	RandomPct float64
+	// RandomAt is the cycle the random expansion applies at.
+	RandomAt int64
+	// RandomSeed seeds the random cable draw (0 is a valid seed).
 	RandomSeed uint64
 	// RetryLimit, when positive, makes the traffic sources retransmit
 	// killed packets up to this many times with exponential backoff
 	// (RetryBase<<attempt cycles; RetryBase defaults to
 	// LatencyLocal+LatencyGlobal). 0 — the default — drops and counts.
 	RetryLimit int
-	RetryBase  int64
+	// RetryBase overrides the backoff base in cycles (0 = default).
+	RetryBase int64
 }
 
 // Enabled reports whether the plan schedules any fault.

@@ -259,6 +259,16 @@ func DefaultConfig() *Config {
 			router + ".Network.applyFaultEvent":     {router + ".Network.applyFaults"},
 			router + ".Network.mergeOutboxes":       {router + ".Network.stepParallel"},
 			router + ".Algorithm.BeginCycle":        {router + ".Network.Step", router + ".Network.stepParallel"},
+			// Quiet-cycle elision (elide.go) runs between Steps, with all
+			// workers quiescent: the horizon queries read cross-shard
+			// state (rings, active sets, the injector RNG) and ElideTo
+			// moves the clock itself. Their only sanctioned call sites
+			// are the elision-aware cycle loops.
+			router + ".Network.ElideTo":      {router + ".Network.Run", router + ".Network.Drain", "cbar/internal/sim.elideStep"},
+			router + ".Network.ElideHorizon": {router + ".Network.Run", router + ".Network.Drain", "cbar/internal/sim.elideStep"},
+			router + ".Network.NextEventCycle": {router + ".Network.ElideHorizon"},
+			router + ".Network.Quiet":          {router + ".Network.ElideHorizon"},
+			traffic + ".Injector.NextArrival":  {"cbar/internal/sim.elideStep"},
 			// Algorithm implementations: their BeginCycle bodies are
 			// reached only through the interface dispatch above, never
 			// called directly inside package routing.
@@ -381,10 +391,17 @@ func DefaultConfig() *Config {
 			router + ".Network.Step",
 			router + ".Network.inject",
 			traffic + ".Injector.Cycle",
+			// The elision horizon queries run once per quiet span (or
+			// measurement bucket) on the stepping path; they must stay
+			// allocation-free like the steppers they stand in for.
+			router + ".Network.ElideHorizon",
+			router + ".Network.NextEventCycle",
+			traffic + ".Injector.NextArrival",
 		},
 		// The Algorithm hook surface runs per-packet/per-cycle inside the
-		// phase graphs; BeginCycle hosts the per-cycle group exchanges.
-		HotPathMethods: []string{"Route", "OnHead", "OnArrive", "OnDequeue", "OnGrant", "BeginCycle"},
+		// phase graphs; BeginCycle hosts the per-cycle group exchanges and
+		// NextAlgCycle is the per-span elision horizon query.
+		HotPathMethods: []string{"Route", "OnHead", "OnArrive", "OnDequeue", "OnGrant", "BeginCycle", "NextAlgCycle"},
 		// Reviewed cold boundaries: fault application runs only when a
 		// plan event or kill is due, and the invariant sweeps are
 		// debug/test machinery.

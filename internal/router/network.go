@@ -554,9 +554,19 @@ func (n *Network) stepShard(sh *netShard) {
 	sh.linkActive.setLive(linkLive)
 }
 
-// Run advances the simulation by `cycles` cycles.
+// Run advances the simulation by `cycles` cycles, eliding quiet spans
+// (see elide.go): when nothing can happen until the next scheduled
+// event, the clock jumps there instead of stepping cycle by cycle. The
+// result is bit-identical to stepping every cycle. Callers that inject
+// traffic between cycles drive Step (or the elision helpers) themselves;
+// Run is for injection-free spans (drains, idle gaps).
 func (n *Network) Run(cycles int64) {
-	for i := int64(0); i < cycles; i++ {
+	end := n.now + cycles
+	for n.now < end {
+		if j, ok := n.ElideHorizon(end); ok {
+			n.ElideTo(j)
+			continue
+		}
 		n.Step()
 	}
 }
@@ -894,8 +904,15 @@ func (n *Network) LinkCounts() (ejection, local, global int) {
 // packet is delivered or maxCycles elapse; it reports whether the network
 // fully drained. Tests use it to prove forward progress (deadlock
 // freedom in practice).
+// Like Run, Drain elides quiet spans (e.g. a lone packet serializing
+// down a long global link) — bit-identically to stepping them.
 func (n *Network) Drain(maxCycles int64) bool {
-	for i := int64(0); i < maxCycles && n.InFlight > 0; i++ {
+	end := n.now + maxCycles
+	for n.now < end && n.InFlight > 0 {
+		if j, ok := n.ElideHorizon(end); ok {
+			n.ElideTo(j)
+			continue
+		}
 		n.Step()
 	}
 	return n.InFlight == 0

@@ -1,0 +1,70 @@
+package routing
+
+import "cbar/internal/router"
+
+// Quiet-cycle elision horizons (router.CycleHorizon): every shipped
+// policy declares the next cycle its BeginCycle does observable work, so
+// the cycle loops can jump quiet spans (see router/elide.go). The
+// contract per implementation:
+//
+//   - Policies with no BeginCycle work at all (Base and its statistical
+//     variant, OLM, MIN, VAL, the hybrid) return NoPendingCycle: the
+//     clock may jump any distance without consulting them.
+//   - PB's event-driven mode keeps its saturation flags current from
+//     occupancy watchers — BeginCycle is empty — so it too returns
+//     NoPendingCycle. The reference full-scan mode recomputes the flags
+//     every cycle and returns ok=false, pinning the stepping path.
+//   - ECtN combines dirty groups every ECtNPeriod cycles: while any
+//     group is dirty the horizon is the next combine tick (which may be
+//     the current cycle — then no elision happens and Step runs the
+//     combine); with a clean dirty-set the next combine would be a
+//     no-op and the horizon is NoPendingCycle. The reference
+//     combine-every-group mode returns ok=false.
+//
+// A new Alg implementation that omits NextAlgCycle is simply never
+// elided (the safe default); one that implements it must return, at
+// every reachable state, a cycle no later than its BeginCycle's next
+// observable effect — and must stay allocation-free, as the query runs
+// on the stepping hot path.
+
+func (*baseAlg) NextAlgCycle(*router.Network) (int64, bool) {
+	return router.NoPendingCycle, true
+}
+
+func (*baseProbAlg) NextAlgCycle(*router.Network) (int64, bool) {
+	return router.NoPendingCycle, true
+}
+
+func (*olmAlg) NextAlgCycle(*router.Network) (int64, bool) {
+	return router.NoPendingCycle, true
+}
+
+func (*minAlg) NextAlgCycle(*router.Network) (int64, bool) {
+	return router.NoPendingCycle, true
+}
+
+func (*valiantAlg) NextAlgCycle(*router.Network) (int64, bool) {
+	return router.NoPendingCycle, true
+}
+
+func (*hybridAlg) NextAlgCycle(*router.Network) (int64, bool) {
+	return router.NoPendingCycle, true
+}
+
+func (a *pbAlg) NextAlgCycle(*router.Network) (int64, bool) {
+	if a.fullScan {
+		return 0, false
+	}
+	return router.NoPendingCycle, true
+}
+
+func (a *ectnAlg) NextAlgCycle(n *router.Network) (int64, bool) {
+	if a.fullCombine {
+		return 0, false
+	}
+	if a.dirty.Len() == 0 {
+		return router.NoPendingCycle, true
+	}
+	now := n.Now()
+	return now + (a.period-now%a.period)%a.period, true
+}

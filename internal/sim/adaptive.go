@@ -207,11 +207,19 @@ func adaptiveSeed(c Config, w Workload, load float64, b Budget, seed uint64) (St
 	var cyc int64
 	runBucket := func() {
 		bSum, bCnt, bPhits = 0, 0, 0
-		for i := 0; i < adaptiveBucket; i++ {
+		// Jumps are capped at the bucket boundary, so every bucket's
+		// bookkeeping (series entries, saturation samples) still runs;
+		// an elided sub-span delivers nothing, so the synthesized bucket
+		// is exactly what stepping it would have produced.
+		end := net.Now() + adaptiveBucket
+		for net.Now() < end {
+			if elideStep(net, inj, end) {
+				continue
+			}
 			inj.Cycle()
 			net.Step()
-			cyc++
 		}
+		cyc += adaptiveBucket
 	}
 
 	sat := newSatDetector(net, w.Source)

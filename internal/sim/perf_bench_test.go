@@ -53,6 +53,31 @@ func BenchmarkStepSmallIdle(b *testing.B) { benchStep(b, Small, routing.Base, 0.
 // where nearly every component is idle on any given cycle.
 func BenchmarkStepPaperIdle(b *testing.B) { benchStep(b, Paper, routing.Base, 0.01) }
 
+// The ElideIdle benchmarks measure quiet-cycle elision, the O(events)
+// idle stepper: one op advances ElideIdleSpan cycles of a deep-idle
+// network through sim.Advance, which jumps the clock between events
+// instead of stepping every cycle. Divide ns/op by ElideIdleSpan to
+// compare against the per-cycle Idle entries — the acceptance bar of
+// the elision change is >= 10x their cycles/sec.
+func benchElideIdle(b *testing.B, s Scale, algo routing.Algo, load float64) {
+	b.Helper()
+	net, inj := mustStepBench(b, s, algo, load, false, false)
+	if err := ElideIdleWarm(net, inj); err != nil {
+		b.Fatal(err)
+	}
+	gen0 := net.NumGenerated
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Advance(net, inj, ElideIdleSpan)
+	}
+	if b.N > 100 && net.NumGenerated == gen0 {
+		b.Fatal("no traffic generated during measurement")
+	}
+}
+
+func BenchmarkStepSmallElideIdle(b *testing.B) { benchElideIdle(b, Small, routing.Base, ElideIdleLoad) }
+func BenchmarkStepPaperElideIdle(b *testing.B) { benchElideIdle(b, Paper, routing.Base, ElideIdleLoad) }
+
 // BenchmarkStepSmallFullScanIdle pins the cost of the original
 // every-component loop at the same operating point as StepSmallIdle, so
 // the active-set win is visible within one benchmark run.

@@ -396,7 +396,12 @@ func steadySeed(ctx context.Context, c Config, w Workload, load float64, warmup,
 	var busyLocal0, busyGlobal0 int64
 	var marked0, notified0, shed0, throttled0 uint64
 	var dropped0, retried0, unroutable0 uint64
-	for cyc := int64(0); cyc < warmup+measure; cyc++ {
+	// The network starts at cycle 0, so net.Now() doubles as the loop
+	// counter. Quiet spans are elided (elideStep), capped at the warmup
+	// boundary so the counter snapshot lands exactly at cycle `warmup`;
+	// skipped cycles deliver nothing and mutate no counter, so the
+	// result is bit-identical to stepping them.
+	for cyc := net.Now(); cyc < warmup+measure; cyc = net.Now() {
 		if cyc == warmup {
 			_, busyLocal0, busyGlobal0 = net.LinkBusy()
 			marked0, notified0, shed0 = net.NumMarked, net.NumNotified, net.NumShed
@@ -407,6 +412,13 @@ func steadySeed(ctx context.Context, c Config, w Workload, load float64, warmup,
 			if err := ctxErr(ctx); err != nil {
 				return SteadyResult{}, nil, err
 			}
+		}
+		bound := warmup + measure
+		if cyc < warmup {
+			bound = warmup
+		}
+		if elideStep(net, inj, bound) {
+			continue
 		}
 		inj.Cycle()
 		net.Step()
@@ -708,11 +720,19 @@ func RunTransientCtx(ctx context.Context, c Config, before, after Workload, load
 			}
 			mis.Add(rel, v)
 		}
-		for cyc := int64(0); cyc < warmup+post; cyc++ {
+		// Quiet spans elide bit-identically (long-OFF bursty warmups are
+		// the motivating case). The destination-pattern switch at cycle
+		// `warmup` needs no jump cap: arrival times never depend on the
+		// pattern, and a jump lands on the next arrival, which then draws
+		// its destination from the schedule in force at that cycle.
+		for cyc := net.Now(); cyc < warmup+post; cyc = net.Now() {
 			if cyc%adaptiveBucket == 0 {
 				if err := ctxErr(ctx); err != nil {
 					return err
 				}
+			}
+			if elideStep(net, inj, warmup+post) {
+				continue
 			}
 			inj.Cycle()
 			net.Step()
@@ -863,6 +883,11 @@ func MeanSaturatedContention(c Config, load float64, warmup, sample int64, seed 
 	if err != nil {
 		return 0, err
 	}
+	// Both loops step every cycle, deliberately un-elided: at a
+	// saturating load the network is never quiet (so elision could not
+	// fire anyway), and the sampling loop reads the contention counters
+	// once per cycle — its observable is the per-cycle trajectory
+	// itself, which a clock jump would undersample.
 	for cyc := int64(0); cyc < warmup; cyc++ {
 		inj.Cycle()
 		net.Step()

@@ -18,6 +18,40 @@ import (
 // settled active sets) rather than cold.
 const StepBenchWarmup = 500
 
+// ElideIdleSpan and ElideIdleLoad are the operating point of the
+// ElideIdle benchmarks (in-tree and cmd/bench): one op advances
+// ElideIdleSpan cycles of a network offered ElideIdleLoad through
+// Advance, so most of the span is elided and ns/op divided by the span
+// is the effective per-cycle cost of the O(events) idle stepper. The
+// load is deep idle — a few arrivals per span — rather than zero, so
+// the jump/step composition (not just one long jump) is what's timed.
+const (
+	ElideIdleSpan = 10000
+	ElideIdleLoad = 1e-5
+)
+
+// ElideIdleWarm deterministically warms every lazily-grown pool an
+// ElideIdle measurement span can touch: one packet through every NIC
+// (first-touch queue backing arrays, the packet freelist), stepped to
+// delivery. At deep idle the statistical StepBenchWarmup leaves most
+// sources untouched, so without this the first-touch growth trickles
+// through the measured spans and allocs/op decays with b.N — a flaky
+// regression gate.
+func ElideIdleWarm(net *router.Network, inj *traffic.Injector) error {
+	nodes := net.Topo.Nodes
+	for src := 0; src < nodes; src++ {
+		net.Inject(src, (src+nodes/2)%nodes)
+	}
+	for i := 0; i < 1<<20 && net.InFlight > 0; i++ {
+		inj.Cycle()
+		net.Step()
+	}
+	if net.InFlight > 0 {
+		return fmt.Errorf("sim: elide warm burst did not drain")
+	}
+	return nil
+}
+
 // NewStepBench builds a network and injector at the given scale,
 // algorithm and uniform offered load, applies the step modes — fullScan
 // selects the every-component fabric loop, refScan the full-recompute

@@ -73,6 +73,11 @@ func (rt *retransmitter) cycle(now int64) {
 // fabric until both in-flight and pending-retry counts reach zero).
 func (rt *retransmitter) pending() int { return len(rt.heap) }
 
+// nextDue returns the earliest queued retry's due cycle; call only with
+// pending() > 0. Elision horizons (Injector.NextArrival) use it as the
+// retransmit next-arrival term.
+func (rt *retransmitter) nextDue() int64 { return rt.heap[0].at }
+
 func (e retryEntry) less(o retryEntry) bool {
 	if e.at != o.at {
 		return e.at < o.at

@@ -188,6 +188,16 @@ type Injector struct {
 	// rtx re-offers fault-dropped packets (nil unless the network's
 	// fault plan enables retransmission — see retransmit.go).
 	rtx *retransmitter
+
+	// Quiet-cycle elision state for the Bernoulli fast path. Certifying
+	// a cycle empty costs exactly the one Geometric draw Cycle would
+	// have consumed for it, so skipping the cycle leaves the RNG stream
+	// bit-identical. drawnThrough is the highest certified-empty cycle;
+	// pendingCycle/pendingNode stash the first in-range draw NextArrival
+	// found, which Cycle resumes from instead of redrawing.
+	drawnThrough int64
+	pendingCycle int64
+	pendingNode  int
 }
 
 // NewInjector builds a homogeneous Bernoulli injector at the given
@@ -206,6 +216,9 @@ func NewInjector(net *router.Network, sched *Schedule, load float64, seed uint64
 		prob:  load / float64(net.Cfg.PacketSize),
 		load:  load,
 		rng:   rng.New(seed, 0xC0FFEE),
+
+		drawnThrough: -1,
+		pendingCycle: -1,
 	}
 	if cc := net.Cfg.Congestion; cc.Enabled {
 		// Close the congestion loop: the fabric's notifications (already
@@ -323,7 +336,23 @@ func (in *Injector) Cycle() {
 		}
 		return
 	}
-	for node := in.rng.Geometric(in.prob); node < nodes; node += 1 + in.rng.Geometric(in.prob) {
+	if now <= in.drawnThrough {
+		// NextArrival certified this cycle empty, consuming the one
+		// Geometric draw the loop below would have made.
+		return
+	}
+	var node int
+	if in.pendingCycle == now {
+		// Resume from the draw NextArrival stashed for this cycle.
+		node = in.pendingNode
+		in.pendingCycle = -1
+	} else {
+		if in.pendingCycle >= 0 && in.pendingCycle < now {
+			panic("traffic: elision jumped past a pending arrival; cap jumps at NextArrival")
+		}
+		node = in.rng.Geometric(in.prob)
+	}
+	for ; node < nodes; node += 1 + in.rng.Geometric(in.prob) {
 		if in.th != nil && !in.th.admit(node, now) {
 			// Memoryless process, no calendar entry to defer: the
 			// attempt is suppressed (counted by the throttle) and no
@@ -333,6 +362,82 @@ func (in *Injector) Cycle() {
 		}
 		in.net.Inject(node, pat.Dest(node, in.rng))
 	}
+}
+
+// NextArrival returns the earliest cycle c with Now() <= c <= limit at
+// which this injector would do observable work — a due retransmission, a
+// due (or throttle-deferred) calendar entry, or a Bernoulli draw landing
+// on a node (throttled nodes count: suppressing the attempt mutates the
+// throttle) — or limit+1 when every cycle through limit is certifiably
+// empty. It is the injector half of the quiet-cycle elision contract
+// (router.Network.ElideHorizon gives the network half): jumping the
+// clock to min of the two skips only cycles on which Cycle is a no-op.
+//
+// On the Bernoulli fast path certification consumes the RNG: one
+// Geometric draw per certified-empty cycle — exactly the draw Cycle
+// would have made — with the first in-range draw stashed and resumed by
+// Cycle, so the stream stays bit-identical to stepping every cycle.
+// Consequently the caller must not advance the network past the
+// returned cycle: Cycle panics if a stashed arrival was jumped over.
+func (in *Injector) NextArrival(limit int64) int64 {
+	now := in.net.Now()
+	if limit < now {
+		limit = now
+	}
+	next := limit + 1
+	if in.rtx != nil && in.rtx.pending() > 0 {
+		at := in.rtx.nextDue()
+		if at < now {
+			at = now
+		}
+		if at < next {
+			next = at
+		}
+	}
+	if in.src != nil {
+		// Calendar path: the heap top is the next injection attempt
+		// (throttle-deferred entries were re-pushed at their next
+		// allowed cycle, so they are covered).
+		if top, ok := in.cal.peek(); ok {
+			at := top.t
+			if at < now {
+				at = now
+			}
+			if at < next {
+				next = at
+			}
+		}
+		return next
+	}
+	if in.prob <= 0 {
+		return next
+	}
+	if in.prob >= 1 {
+		return now
+	}
+	if in.pendingCycle >= 0 {
+		if in.pendingCycle < now {
+			panic("traffic: elision jumped past a pending arrival; cap jumps at NextArrival")
+		}
+		if in.pendingCycle < next {
+			next = in.pendingCycle
+		}
+		return next
+	}
+	// Certify cycles empty one Geometric draw at a time, up to (not
+	// including) the earliest other work.
+	c := now
+	if in.drawnThrough+1 > c {
+		c = in.drawnThrough + 1
+	}
+	for ; c < next; c++ {
+		if node := in.rng.Geometric(in.prob); node < in.net.Topo.Nodes {
+			in.pendingCycle, in.pendingNode = c, node
+			return c
+		}
+		in.drawnThrough = c
+	}
+	return next
 }
 
 // cycleCalendar pops every node whose next injection is due and

@@ -77,8 +77,9 @@ func scaleOf(c Config) sim.Scale {
 
 // SteadyResult reports a steady-state measurement.
 type SteadyResult struct {
-	Algo     string
-	Workload string
+	// Algo and Workload name the simulated mechanism and traffic pattern
+	// (Algorithm.String and the ParseTraffic spec forms).
+	Algo, Workload string
 	// Load is the offered load in phits/(node·cycle); with 8-phit
 	// packets and 10-byte phits at 1 GHz this is tenths of 10 GB/s.
 	Load float64
@@ -91,16 +92,14 @@ type SteadyResult struct {
 	Accepted float64
 	// MisroutedGlobal is the fraction of delivered packets that took a
 	// nonminimal global hop; MisroutedLocal likewise for local hops.
-	MisroutedGlobal float64
-	MisroutedLocal  float64
+	MisroutedGlobal, MisroutedLocal float64
 	// AvgHops is the mean number of router-to-router hops.
 	AvgHops float64
 	// UtilLocal and UtilGlobal are the mean utilizations (0..1) of the
 	// local and global links over the measurement window — useful for
 	// spotting which tier saturates first (global links under ADV+1,
 	// source-group local links under ADV+h).
-	UtilLocal  float64
-	UtilGlobal float64
+	UtilLocal, UtilGlobal float64
 	// OverflowFrac is the fraction of measured latencies at or above
 	// the latency-histogram cap. Nonzero means the reported percentiles
 	// are saturated at the cap (the true tail is worse) — typical when
@@ -113,8 +112,7 @@ type SteadyResult struct {
 	// CIHalfLatency and CIHalfAccepted are the 95% confidence
 	// half-widths of AvgLatency and Accepted from the adaptive engine's
 	// batch-means estimator, combined across seeds (zero in fixed mode).
-	CIHalfLatency  float64
-	CIHalfAccepted float64
+	CIHalfLatency, CIHalfAccepted float64
 	// MeasuredCycles is the total number of measured cycles summed over
 	// all seeds — Measure x Seeds in fixed mode, whatever the stopping
 	// rule actually spent in adaptive mode.
@@ -135,19 +133,14 @@ type SteadyResult struct {
 	// notifications replayed to sources, Throttled the injection
 	// attempts deferred or suppressed by the AIMD throttle, and Shed the
 	// injection attempts dropped at the NIC shed cap.
-	Marked    uint64
-	Notified  uint64
-	Throttled uint64
-	Shed      uint64
+	Marked, Notified, Throttled, Shed uint64
 	// Fault-injection activity over the measurement windows, summed
 	// across seeds; all zero unless Config.Faults schedules faults.
 	// Dropped counts packets killed on failing links or routers, Retried
 	// the killed packets successfully re-injected by their sources, and
 	// Unroutable the packets aimed at (or caught inside) a partitioned
 	// region of the fabric.
-	Dropped    uint64
-	Retried    uint64
-	Unroutable uint64
+	Dropped, Retried, Unroutable uint64
 }
 
 func fromSimSteady(r sim.SteadyResult) SteadyResult {
@@ -260,6 +253,7 @@ func (o TransientOptions) withDefaults(c Config) TransientOptions {
 
 // TransientResult is a traced response to a traffic-pattern switch.
 type TransientResult struct {
+	// Algo names the traced mechanism (Algorithm.String form).
 	Algo string
 	// Times are bucket centers in cycles relative to the switch
 	// (negative = before).
